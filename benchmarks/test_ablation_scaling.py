@@ -1,0 +1,97 @@
+"""Ablation A2 -- weight scaling and soft thresholding (paper Section V-B).
+
+The paper adopts two error-mitigation techniques from Kim et al. for the
+stochastic first layer: per-kernel weight scaling (use the full [-1, 1]
+dynamic range) and soft thresholding (force near-zero results to zero).
+
+Because the first layer's activation is a sign function, per-kernel scaling
+does not change the *ideal* decision; what it changes is how much of the
+kernel structure survives b-bit quantization and how many counter LSBs the
+stochastic dot product spans.  This ablation therefore measures, for the
+same raw kernels, how often the full stochastic engine reproduces the ideal
+(floating-point) sign decision with and without weight scaling, and with
+soft thresholding added on top.
+"""
+
+import numpy as np
+
+from repro.datasets import SyntheticDigits
+from repro.nn.quantization import prepare_first_layer_weights
+from repro.sc import StochasticConv2D, new_sc_engine
+from repro.utils import extract_patches
+
+
+PRECISION = 6
+KERNEL_COUNT = 6
+
+
+def _ideal_reference(raw_kernels, images, padding):
+    """Ideal floating-point dot products of every window with every kernel."""
+    patches = extract_patches(images, raw_kernels.shape[1:], padding=padding)
+    reference = patches @ raw_kernels.reshape(raw_kernels.shape[0], -1).T
+    return reference.reshape(
+        images.shape[0], images.shape[1], images.shape[2], raw_kernels.shape[0]
+    ).transpose(0, 3, 1, 2)
+
+
+def _sc_signs(kernels, images, soft_threshold):
+    layer = StochasticConv2D(
+        kernels,
+        engine=new_sc_engine(precision=PRECISION),
+        padding=2,
+        soft_threshold=soft_threshold,
+    )
+    return layer.forward(images).sign
+
+
+def test_ablation_weight_scaling_and_soft_threshold(benchmark):
+    rng = np.random.default_rng(0)
+    data = SyntheticDigits.generate(train_size=4, test_size=4, seed=5)
+    images = data.x_test[:3]
+    # Raw kernels as they come out of training: most mass well inside [-1, 1],
+    # so naive quantization wastes most of the bipolar range.
+    raw_kernels = rng.normal(scale=0.12, size=(KERNEL_COUNT, 5, 5))
+
+    scaled = prepare_first_layer_weights(raw_kernels, precision=PRECISION, scale=True)
+    unscaled = prepare_first_layer_weights(raw_kernels, precision=PRECISION, scale=False)
+    reference = _ideal_reference(raw_kernels, images, padding=2)
+    ideal_sign = np.sign(reference)
+    confident = np.abs(reference) > 0.5 * np.std(reference)
+    strongly_confident = np.abs(reference) > 1.5 * np.std(reference)
+
+    def run_ablation():
+        return {
+            "scaled": _sc_signs(scaled, images, 0.0),
+            "unscaled": _sc_signs(unscaled, images, 0.0),
+            "scaled+soft": _sc_signs(scaled, images, 0.02),
+        }
+
+    signs = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    agreement = {
+        name: float(np.mean(value[confident] == ideal_sign[confident]))
+        for name, value in signs.items()
+    }
+    print()
+    for name, value in agreement.items():
+        print(f"  sign agreement vs ideal ({name}): {value:.3f}")
+
+    # Weight scaling uses the full dynamic range of the stochastic encoding,
+    # so both the quantized kernels and the counter outputs retain much more
+    # information: agreement with the ideal decision must improve sharply.
+    assert agreement["scaled"] > agreement["unscaled"] + 0.1
+    assert agreement["scaled"] > 0.8
+
+    # Soft thresholding abstains near zero (more zero outputs) ...
+    assert np.sum(signs["scaled+soft"] == 0) >= np.sum(signs["scaled"] == 0)
+    # ... while decisions on strongly confident outputs are preserved.
+    strong_soft = float(
+        np.mean(
+            signs["scaled+soft"][strongly_confident]
+            == ideal_sign[strongly_confident]
+        )
+    )
+    strong_plain = float(
+        np.mean(signs["scaled"][strongly_confident] == ideal_sign[strongly_confident])
+    )
+    print(f"  strong-confidence agreement: plain={strong_plain:.3f} soft={strong_soft:.3f}")
+    assert strong_soft > strong_plain - 0.1

@@ -1,0 +1,77 @@
+"""Ablation A3 / E7 -- adder behaviour vs. bit-stream length and fan-in.
+
+Covers two paper claims that do not have their own table:
+
+* Fig. 2c -- the TFF adder's result is exact whenever representable and its
+  rounding direction is set by the flip-flop's initial state;
+* Section III -- MUX-adder error compounds through an adder tree while the
+  TFF adder tree's error stays bounded by its depth, across bit-stream
+  lengths and fan-ins.
+"""
+
+import numpy as np
+
+from repro.bitstream import Bitstream
+from repro.sc import AdderTree, MuxAdder, TffAdder, tff_add
+
+
+def _tree_error(adder_factory, fan_in, length, trials, rng):
+    """RMS error of an adder tree against the exact scaled sum."""
+    tree = AdderTree(adder_factory)
+    errors = []
+    for _ in range(trials):
+        values = rng.random(fan_in)
+        streams = [
+            Bitstream.from_exact(v, length).permute(rng=int(rng.integers(1 << 30)))
+            for v in values
+        ]
+        result = tree.reduce(streams)
+        exact = sum(s.probability for s in streams) * tree.scale_factor(fan_in)
+        errors.append((result.probability - exact) ** 2)
+    return float(np.sqrt(np.mean(errors)))
+
+
+def test_adder_sweep(benchmark):
+    rng = np.random.default_rng(0)
+
+    def sweep():
+        results = {}
+        for length in (16, 64, 256):
+            for fan_in in (4, 16, 25):
+                results[("tff", length, fan_in)] = _tree_error(
+                    TffAdder, fan_in, length, trials=8, rng=rng
+                )
+                results[("mux", length, fan_in)] = _tree_error(
+                    lambda: MuxAdder(seed=int(rng.integers(1 << 30))),
+                    fan_in,
+                    length,
+                    trials=8,
+                    rng=rng,
+                )
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("  adder  length  fan-in   RMS error")
+    for (adder, length, fan_in), error in sorted(results.items()):
+        print(f"  {adder:4s}   {length:5d}  {fan_in:5d}    {error:.5f}")
+
+    # The TFF tree beats the MUX tree in every configuration.
+    for length in (16, 64, 256):
+        for fan_in in (4, 16, 25):
+            assert results[("tff", length, fan_in)] <= results[("mux", length, fan_in)], (
+                length,
+                fan_in,
+            )
+
+    # TFF tree error is bounded by depth/N (up to one LSB per level).
+    for length in (16, 64, 256):
+        for fan_in in (4, 16, 25):
+            depth = AdderTree().depth(fan_in)
+            assert results[("tff", length, fan_in)] <= depth / length + 1e-9
+
+    # Fig. 2c: rounding direction follows the initial state.
+    x = Bitstream("0100 1010")
+    y = Bitstream("0010 0010")
+    assert tff_add(x, y, initial_state=0) == Bitstream("0010 0010")
+    assert tff_add(x, y, initial_state=1) == Bitstream("0100 1010")

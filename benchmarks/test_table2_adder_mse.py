@@ -1,0 +1,42 @@
+"""Benchmark E2 -- regenerate Table 2 (stochastic adder MSE per implementation).
+
+Paper reference (Table 2, lower is better):
+
+    Implementation                  8-Bit      4-Bit
+    Old adder  Random + LFSR        3.24e-4    5.55e-3
+    Old adder  Random + TFF         5.49e-4    5.49e-3
+    Old adder  LFSR + TFF           1.06e-4    2.66e-3
+    New adder (Fig. 2b)             1.91e-6    4.88e-4
+
+The proposed TFF adder must beat every MUX-adder configuration by a wide
+margin at both precisions, and its error must sit at the half-LSB rounding
+level (its only error source).
+"""
+
+from repro.eval import format_table2, run_table2
+
+
+def test_table2_adder_mse(benchmark):
+    result = benchmark.pedantic(
+        run_table2, kwargs={"precisions": (8, 4)}, rounds=1, iterations=1
+    )
+    print()
+    print(format_table2(result))
+
+    old_configs = ("old_random_lfsr", "old_random_tff", "old_lfsr_tff")
+    # The paper's own margins: ~55x over the best old configuration at 8-bit,
+    # ~5.5x at 4-bit.  Require at least 10x and 4x respectively.
+    margins = {8: 10.0, 4: 4.0}
+    for precision in (8, 4):
+        new = result.mse["new_tff"][precision]
+        for config in old_configs:
+            assert result.mse[config][precision] > margins[precision] * new, (
+                config,
+                precision,
+            )
+
+    # The new adder's MSE is at the quantization floor: ~(1/2N)^2.
+    assert result.mse["new_tff"][8] < (1.0 / 256) ** 2
+    assert result.mse["new_tff"][4] < (1.0 / 16) ** 2
+    # Improvement factor comparable to the paper's (about 55x at 8 bits).
+    assert result.improvement_factor(8) > 20

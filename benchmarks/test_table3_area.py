@@ -1,0 +1,55 @@
+"""Benchmark E6 -- regenerate Table 3 (area rows): design area in mm^2.
+
+Paper reference (mm^2, 65 nm):
+
+    Design     8 Bits  7 Bits  6 Bits  5 Bits  4 Bits  3 Bits  2 Bits
+    Binary      1.313   1.094   0.891   0.710   0.543   0.391   0.255
+    This Work   1.321   1.282   1.240   1.200   1.166   1.110   1.057
+
+Checked shape: the binary datapath narrows with precision (roughly linear
+area reduction) while the stochastic array's area is almost precision
+independent, so the stochastic design goes from area parity at 8 bits to
+roughly 2x the binary area at 4 bits and ~4x at 2 bits.
+"""
+
+from repro.eval import run_table3_hardware
+from repro.hw import PAPER_TABLE3_REFERENCE
+
+
+def test_table3_area(benchmark):
+    result = benchmark.pedantic(
+        run_table3_hardware,
+        kwargs={"precisions": (8, 7, 6, 5, 4, 3, 2)},
+        rounds=1,
+        iterations=1,
+    )
+    by_precision = result.by_precision()
+    reference = PAPER_TABLE3_REFERENCE
+
+    print()
+    print("precision   binary mm^2 (paper)    this-work mm^2 (paper)")
+    for p in (8, 7, 6, 5, 4, 3, 2):
+        row = by_precision[p]
+        print(
+            f"  {p}          {row.binary_area_mm2:.3f} ({reference['binary_area_mm2'][p]:.3f})"
+            f"            {row.sc_area_mm2:.3f} ({reference['sc_area_mm2'][p]:.3f})"
+        )
+
+    # Binary area shrinks monotonically with precision.
+    binary_area = [by_precision[p].binary_area_mm2 for p in (8, 7, 6, 5, 4, 3, 2)]
+    assert all(b < a for a, b in zip(binary_area, binary_area[1:]))
+    assert by_precision[8].binary_area_mm2 / by_precision[2].binary_area_mm2 > 3.0
+
+    # Stochastic area is nearly flat (< 30% total variation).
+    sc_area = [by_precision[p].sc_area_mm2 for p in (8, 7, 6, 5, 4, 3, 2)]
+    assert max(sc_area) / min(sc_area) < 1.3
+
+    # Area parity at 8 bits, roughly 2x at 4 bits (paper: 1.01x and 2.15x).
+    assert 0.8 < by_precision[8].area_ratio < 1.3
+    assert 1.5 < by_precision[4].area_ratio < 3.0
+
+    # Magnitudes within ~60% of the paper's columns.
+    for precision, paper_value in reference["sc_area_mm2"].items():
+        assert abs(by_precision[precision].sc_area_mm2 - paper_value) / paper_value < 0.6
+    for precision, paper_value in reference["binary_area_mm2"].items():
+        assert abs(by_precision[precision].binary_area_mm2 - paper_value) / paper_value < 0.6

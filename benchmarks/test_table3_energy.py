@@ -1,0 +1,57 @@
+"""Benchmark E5 -- regenerate Table 3 (energy rows): energy efficiency (nJ/frame).
+
+Paper reference (nJ per frame):
+
+    Design     8 Bits  7 Bits  6 Bits  5 Bits  4 Bits  3 Bits  2 Bits
+    Binary     670.92  596.38  497.74  419.76  333.17  256.90  174.90
+    This Work  543.42  274.82  136.22   67.60   34.00   15.34    7.26
+
+Checked shape: the stochastic design's energy per frame halves with every
+bit of precision removed (run time scales with 2^b at near-constant power),
+while the binary design's energy decreases only gradually; the stochastic
+design breaks even at 8 bits and is roughly an order of magnitude more
+efficient at 4 bits.
+"""
+
+from repro.eval import run_table3_hardware
+from repro.hw import PAPER_TABLE3_REFERENCE
+
+
+def test_table3_energy(benchmark):
+    result = benchmark.pedantic(
+        run_table3_hardware,
+        kwargs={"precisions": (8, 7, 6, 5, 4, 3, 2)},
+        rounds=1,
+        iterations=1,
+    )
+    by_precision = result.by_precision()
+    reference = PAPER_TABLE3_REFERENCE
+
+    print()
+    print("precision   binary nJ (paper)    this-work nJ (paper)    ratio (paper)")
+    for p in (8, 7, 6, 5, 4, 3, 2):
+        row = by_precision[p]
+        paper_ratio = reference["binary_energy_nj"][p] / reference["sc_energy_nj"][p]
+        print(
+            f"  {p}        {row.binary_energy_nj:8.1f} ({reference['binary_energy_nj'][p]:.1f})"
+            f"      {row.sc_energy_nj:8.1f} ({reference['sc_energy_nj'][p]:.1f})"
+            f"       {row.energy_efficiency_ratio:4.1f}x ({paper_ratio:.1f}x)"
+        )
+
+    # Stochastic energy decays near-exponentially with precision.
+    for high, low in zip((8, 7, 6, 5, 4, 3), (7, 6, 5, 4, 3, 2)):
+        ratio = by_precision[high].sc_energy_nj / by_precision[low].sc_energy_nj
+        assert 1.5 < ratio < 2.6, (high, low, ratio)
+
+    # Binary energy decreases far more slowly (narrower datapath only).
+    assert by_precision[8].binary_energy_nj / by_precision[2].binary_energy_nj < 10
+
+    # Break-even at 8 bits; roughly an order of magnitude advantage at 4 bits
+    # (paper: 9.8x), at least 5x in the scaled-down model.
+    assert result.break_even_precision() == 8
+    assert result.energy_efficiency_at(4) > 5.0
+
+    # Magnitudes stay within ~2.5x of the paper's columns.
+    for precision, paper_value in reference["sc_energy_nj"].items():
+        measured = by_precision[precision].sc_energy_nj
+        assert 0.4 * paper_value < measured < 2.5 * paper_value, precision

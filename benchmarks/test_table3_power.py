@@ -1,0 +1,55 @@
+"""Benchmark E4 -- regenerate Table 3 (power rows): throughput-normalized power.
+
+Paper reference (mW, throughput-normalized to the stochastic design):
+
+    Design     8 Bits  7 Bits  6 Bits  5 Bits  4 Bits  3 Bits  2 Bits
+    Binary      40.95   72.80  121.52  204.96  325.36  501.76  683.20
+    This Work   33.17   33.55   33.26   33.01   33.20   29.96   28.35
+
+Checked shape: binary power grows steeply as precision drops (it must be
+clocked exponentially faster to match the stochastic frame rate), while the
+stochastic design's power stays nearly flat.
+"""
+
+import numpy as np
+
+from repro.eval import format_table3_hardware, run_table3_hardware
+from repro.hw import PAPER_TABLE3_REFERENCE
+
+
+def test_table3_power(benchmark):
+    result = benchmark.pedantic(
+        run_table3_hardware,
+        kwargs={"precisions": (8, 7, 6, 5, 4, 3, 2)},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table3_hardware(result))
+
+    by_precision = result.by_precision()
+    reference = PAPER_TABLE3_REFERENCE
+
+    # Binary throughput-normalized power increases monotonically as precision drops.
+    binary_power = [by_precision[p].binary_power_mw for p in (8, 7, 6, 5, 4, 3, 2)]
+    assert all(b > a for a, b in zip(binary_power, binary_power[1:]))
+    assert by_precision[2].binary_power_mw > 8 * by_precision[8].binary_power_mw
+
+    # Stochastic power is nearly flat (within ~30% across the whole sweep).
+    sc_power = [by_precision[p].sc_power_mw for p in (8, 7, 6, 5, 4, 3, 2)]
+    assert max(sc_power) / min(sc_power) < 1.3
+
+    # The calibrated 8-bit anchor matches the paper by construction, and each
+    # measured column stays within a factor of ~2 of the paper's value.
+    for precision, paper_value in reference["binary_power_mw"].items():
+        measured = by_precision[precision].binary_power_mw
+        assert 0.4 * paper_value < measured < 2.5 * paper_value, precision
+    for precision, paper_value in reference["sc_power_mw"].items():
+        measured = by_precision[precision].sc_power_mw
+        assert 0.5 * paper_value < measured < 2.0 * paper_value, precision
+
+    # Power advantage at 4 bits is roughly an order of magnitude (paper: 9.8x).
+    assert by_precision[4].power_ratio > 5.0
+    print(f"power ratio at 4 bits: {by_precision[4].power_ratio:.1f}x (paper 9.8x)")
+    print(f"mean abs log-error vs paper (binary power): "
+          f"{np.mean([abs(np.log(by_precision[p].binary_power_mw / v)) for p, v in reference['binary_power_mw'].items()]):.2f}")

@@ -1,0 +1,22 @@
+"""Legacy setup shim.
+
+The offline evaluation environment lacks the ``wheel`` package, so PEP 517
+editable installs are unavailable; this file lets ``pip install -e .`` fall
+back to the classic ``setup.py develop`` path.  All project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of 'Energy-Efficient Hybrid Stochastic-Binary Neural "
+        "Networks for Near-Sensor Computing' (Lee et al., DATE 2017)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

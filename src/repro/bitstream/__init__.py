@@ -1,0 +1,45 @@
+"""Bit-stream representation and value encodings for stochastic computing."""
+
+from .bitstream import Bitstream
+from .correlation import (
+    autocorrelation,
+    overlap_count,
+    pearson_correlation,
+    stochastic_cross_correlation,
+)
+from .encoding import (
+    BIPOLAR,
+    UNIPOLAR,
+    bipolar_to_unipolar,
+    clip_bipolar,
+    clip_unipolar,
+    from_probability,
+    precision_bits,
+    quantization_grid,
+    quantize_bipolar,
+    quantize_unipolar,
+    stream_length,
+    to_probability,
+    unipolar_to_bipolar,
+)
+
+__all__ = [
+    "Bitstream",
+    "UNIPOLAR",
+    "BIPOLAR",
+    "stream_length",
+    "precision_bits",
+    "clip_unipolar",
+    "clip_bipolar",
+    "unipolar_to_bipolar",
+    "bipolar_to_unipolar",
+    "quantize_unipolar",
+    "quantize_bipolar",
+    "quantization_grid",
+    "to_probability",
+    "from_probability",
+    "stochastic_cross_correlation",
+    "pearson_correlation",
+    "autocorrelation",
+    "overlap_count",
+]

@@ -1,0 +1,245 @@
+"""The :class:`Bitstream` container used by every stochastic-computing element.
+
+A stochastic number (SN) is a finite sequence of bits whose ones-density
+encodes a value (see :mod:`repro.bitstream.encoding`).  This module wraps a
+numpy boolean array with the bookkeeping the rest of the library needs:
+
+* the encoding (unipolar / bipolar) used to interpret the ones-density;
+* convenience constructors (constant streams, streams from probabilities and
+  explicit ``"0101"`` strings as printed in the paper's figures);
+* estimation of the encoded value and of the exact rational ``ones / length``;
+* elementwise logical operations, which are the physical gates of SC.
+
+Streams are immutable from the point of view of the arithmetic elements: all
+operations return new :class:`Bitstream` instances.  Internally bits are kept
+as ``uint8`` (0/1) so that vectorized batch simulation can reuse the same
+kernels on large arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+from .encoding import (
+    BIPOLAR,
+    UNIPOLAR,
+    from_probability,
+    to_probability,
+)
+
+__all__ = ["Bitstream"]
+
+BitsLike = Union[str, Sequence[int], np.ndarray, "Bitstream"]
+
+
+def _coerce_bits(bits: BitsLike) -> np.ndarray:
+    """Normalize any accepted bit container into a 1-D uint8 array of 0/1."""
+    if isinstance(bits, Bitstream):
+        return bits.bits.copy()
+    if isinstance(bits, str):
+        cleaned = bits.replace(" ", "").replace("_", "")
+        if not cleaned or any(c not in "01" for c in cleaned):
+            raise ValueError(f"bit string must contain only 0/1, got {bits!r}")
+        return np.frombuffer(cleaned.encode("ascii"), dtype=np.uint8) - ord("0")
+    arr = np.asarray(bits)
+    if arr.ndim != 1:
+        raise ValueError(f"bits must be one-dimensional, got shape {arr.shape}")
+    if arr.dtype == np.bool_:
+        return arr.astype(np.uint8)
+    arr = arr.astype(np.int64)
+    if np.any((arr != 0) & (arr != 1)):
+        raise ValueError("bits must be 0 or 1")
+    return arr.astype(np.uint8)
+
+
+@dataclass(frozen=True)
+class Bitstream:
+    """A finite stochastic bit-stream.
+
+    Parameters
+    ----------
+    bits:
+        The bit values, any of: a ``"0101 0011"`` style string (spaces and
+        underscores ignored), a sequence of 0/1 integers, a boolean / integer
+        numpy array, or another :class:`Bitstream`.
+    encoding:
+        ``"unipolar"`` (default) or ``"bipolar"``; only affects how
+        :attr:`value` interprets the ones-density.
+    """
+
+    bits: np.ndarray
+    encoding: str = UNIPOLAR
+
+    def __init__(self, bits: BitsLike, encoding: str = UNIPOLAR) -> None:
+        if encoding not in (UNIPOLAR, BIPOLAR):
+            raise ValueError(f"unknown encoding {encoding!r}")
+        object.__setattr__(self, "bits", _coerce_bits(bits))
+        object.__setattr__(self, "encoding", encoding)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_string(cls, text: str, encoding: str = UNIPOLAR) -> "Bitstream":
+        """Build a stream from a ``"0110 0011"`` string as printed in the paper."""
+        return cls(text, encoding=encoding)
+
+    @classmethod
+    def all_zeros(cls, length: int, encoding: str = UNIPOLAR) -> "Bitstream":
+        """An all-zero stream (unipolar value 0, bipolar value -1)."""
+        return cls(np.zeros(length, dtype=np.uint8), encoding=encoding)
+
+    @classmethod
+    def all_ones(cls, length: int, encoding: str = UNIPOLAR) -> "Bitstream":
+        """An all-one stream (unipolar value 1, bipolar value +1)."""
+        return cls(np.ones(length, dtype=np.uint8), encoding=encoding)
+
+    @classmethod
+    def from_random(
+        cls,
+        value: float,
+        length: int,
+        rng: np.random.Generator | int | None = None,
+        encoding: str = UNIPOLAR,
+    ) -> "Bitstream":
+        """Bernoulli-sample a stream whose expected density encodes ``value``.
+
+        This mirrors the idealized "random bit-stream" configurations used in
+        Tables 1 and 2; deterministic generators live in :mod:`repro.rng`.
+        """
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        p = float(to_probability(value, encoding))
+        bits = (rng.random(length) < p).astype(np.uint8)
+        return cls(bits, encoding=encoding)
+
+    @classmethod
+    def from_exact(
+        cls, value: float, length: int, encoding: str = UNIPOLAR
+    ) -> "Bitstream":
+        """Build a stream whose ones-count is exactly ``round(p * length)``.
+
+        Ones are placed at the front of the stream; combine with a permutation
+        or use :mod:`repro.rng` generators when bit ordering matters.
+        """
+        p = float(to_probability(value, encoding))
+        k = int(round(p * length))
+        bits = np.zeros(length, dtype=np.uint8)
+        bits[:k] = 1
+        return cls(bits, encoding=encoding)
+
+    # ------------------------------------------------------------------ #
+    # interpretation
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return int(self.bits.shape[0])
+
+    @property
+    def length(self) -> int:
+        """Number of bits (clock cycles) in the stream."""
+        return len(self)
+
+    @property
+    def ones(self) -> int:
+        """Number of ``1`` bits in the stream."""
+        return int(self.bits.sum())
+
+    @property
+    def probability(self) -> float:
+        """Empirical ones-density ``ones / length``."""
+        if len(self) == 0:
+            raise ValueError("empty bit-stream has no probability")
+        return self.ones / len(self)
+
+    @property
+    def exact_value(self) -> Fraction:
+        """The encoded value as an exact rational number."""
+        p = Fraction(self.ones, len(self))
+        if self.encoding == UNIPOLAR:
+            return p
+        return 2 * p - 1
+
+    @property
+    def value(self) -> float:
+        """The encoded value as a float (unipolar ``p`` or bipolar ``2p - 1``)."""
+        return float(from_probability(self.probability, self.encoding))
+
+    def as_encoding(self, encoding: str) -> "Bitstream":
+        """Return the same bits re-interpreted under another encoding."""
+        return Bitstream(self.bits, encoding=encoding)
+
+    # ------------------------------------------------------------------ #
+    # elementwise logic (the physical gates of stochastic computing)
+    # ------------------------------------------------------------------ #
+    def _binary_op(self, other: "Bitstream", op) -> "Bitstream":
+        if not isinstance(other, Bitstream):
+            raise TypeError(f"expected Bitstream, got {type(other).__name__}")
+        if len(other) != len(self):
+            raise ValueError(
+                f"length mismatch: {len(self)} vs {len(other)} bits"
+            )
+        return Bitstream(op(self.bits, other.bits).astype(np.uint8), self.encoding)
+
+    def __and__(self, other: "Bitstream") -> "Bitstream":
+        return self._binary_op(other, np.bitwise_and)
+
+    def __or__(self, other: "Bitstream") -> "Bitstream":
+        return self._binary_op(other, np.bitwise_or)
+
+    def __xor__(self, other: "Bitstream") -> "Bitstream":
+        return self._binary_op(other, np.bitwise_xor)
+
+    def __invert__(self) -> "Bitstream":
+        return Bitstream((1 - self.bits).astype(np.uint8), self.encoding)
+
+    # ------------------------------------------------------------------ #
+    # manipulation helpers
+    # ------------------------------------------------------------------ #
+    def repeat(self, times: int) -> "Bitstream":
+        """Concatenate ``times`` copies of the stream (longer observation)."""
+        if times < 1:
+            raise ValueError("times must be >= 1")
+        return Bitstream(np.tile(self.bits, times), self.encoding)
+
+    def rotate(self, shift: int) -> "Bitstream":
+        """Circularly rotate the stream by ``shift`` positions."""
+        return Bitstream(np.roll(self.bits, shift), self.encoding)
+
+    def permute(self, rng: np.random.Generator | int | None = None) -> "Bitstream":
+        """Randomly permute bit positions (value preserved, correlation broken)."""
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        return Bitstream(rng.permutation(self.bits), self.encoding)
+
+    def to_string(self, group: int = 4) -> str:
+        """Render as a grouped ``"0110 0011"`` string like the paper's figures."""
+        text = "".join(str(int(b)) for b in self.bits)
+        if group <= 0:
+            return text
+        return " ".join(text[i : i + group] for i in range(0, len(text), group))
+
+    def __iter__(self) -> Iterable[int]:
+        return iter(int(b) for b in self.bits)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bitstream):
+            return NotImplemented
+        return (
+            self.encoding == other.encoding
+            and len(self) == len(other)
+            and bool(np.array_equal(self.bits, other.bits))
+        )
+
+    def __hash__(self) -> int:  # frozen dataclass with ndarray needs a manual hash
+        return hash((self.encoding, self.bits.tobytes()))
+
+    def __repr__(self) -> str:
+        preview = self.to_string() if len(self) <= 32 else self.to_string()[:40] + "..."
+        return (
+            f"Bitstream({preview!r}, encoding={self.encoding!r}, "
+            f"value={self.value:.6g}, length={len(self)})"
+        )

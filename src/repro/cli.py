@@ -1,0 +1,131 @@
+"""Command-line interface: regenerate any of the paper's tables from a shell.
+
+Usage (after ``pip install -e .``):
+
+    python -m repro table1                 # multiplier MSE (Table 1)
+    python -m repro table2                 # adder MSE (Table 2)
+    python -m repro hardware               # power / energy / area (Table 3 bottom)
+    python -m repro hardware --raw         # same, without the 8-bit anchoring
+    python -m repro accuracy --quick       # misclassification rates (Table 3 top)
+    python -m repro claims                 # headline-claim summary
+
+The accuracy experiment honours the same environment variables as the
+benchmark suite (REPRO_TRAIN_SIZE, REPRO_TEST_SIZE, REPRO_BITEXACT,
+REPRO_EVAL_IMAGES).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from .eval import (
+    AccuracyConfig,
+    format_headline_claims,
+    format_table1,
+    format_table2,
+    format_table3_accuracy,
+    format_table3_hardware,
+    run_table1,
+    run_table2,
+    run_table3_accuracy,
+    run_table3_hardware,
+    summarize,
+)
+
+__all__ = ["build_parser", "main"]
+
+
+def _parse_precisions(text: str) -> tuple:
+    try:
+        values = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"invalid precision list {text!r}") from exc
+    if not values or any(v < 2 for v in values):
+        raise argparse.ArgumentTypeError("precisions must be integers >= 2")
+    return values
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the tables of Lee et al., DATE 2017.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table1 = sub.add_parser("table1", help="stochastic multiplier MSE (Table 1)")
+    table1.add_argument(
+        "--precisions", type=_parse_precisions, default=(8, 4),
+        help="comma-separated precisions, e.g. 8,4",
+    )
+
+    table2 = sub.add_parser("table2", help="stochastic adder MSE (Table 2)")
+    table2.add_argument("--precisions", type=_parse_precisions, default=(8, 4))
+
+    hardware = sub.add_parser("hardware", help="power / energy / area (Table 3 bottom)")
+    hardware.add_argument("--precisions", type=_parse_precisions, default=(8, 7, 6, 5, 4, 3, 2))
+    hardware.add_argument(
+        "--raw", action="store_true",
+        help="report the raw gate-count model instead of anchoring to the paper's 8-bit results",
+    )
+
+    accuracy = sub.add_parser("accuracy", help="misclassification rates (Table 3 top)")
+    accuracy.add_argument("--precisions", type=_parse_precisions, default=(8, 6, 4, 3, 2))
+    accuracy.add_argument("--train-size", type=int, default=None)
+    accuracy.add_argument("--test-size", type=int, default=None)
+    accuracy.add_argument("--epochs", type=int, default=4, help="baseline training epochs")
+    accuracy.add_argument("--retrain-epochs", type=int, default=3)
+    accuracy.add_argument("--quick", action="store_true", help="small smoke-test configuration")
+    accuracy.add_argument("--no-retrain-row", action="store_true",
+                          help="also report the no-retraining ablation row")
+
+    claims = sub.add_parser("claims", help="headline-claim summary (hardware only)")
+    claims.add_argument("--raw", action="store_true")
+    return parser
+
+
+def _accuracy_config(args: argparse.Namespace) -> AccuracyConfig:
+    if args.quick:
+        return AccuracyConfig(
+            precisions=(8, 4, 2),
+            train_size=400,
+            test_size=120,
+            baseline_epochs=2,
+            retrain_epochs=1,
+            include_no_retrain=args.no_retrain_row,
+        )
+    return AccuracyConfig(
+        precisions=args.precisions,
+        train_size=args.train_size,
+        test_size=args.test_size,
+        baseline_epochs=args.epochs,
+        retrain_epochs=args.retrain_epochs,
+        include_no_retrain=args.no_retrain_row,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "table1":
+        print(format_table1(run_table1(precisions=args.precisions)))
+    elif args.command == "table2":
+        print(format_table2(run_table2(precisions=args.precisions)))
+    elif args.command == "hardware":
+        result = run_table3_hardware(precisions=args.precisions, calibrate=not args.raw)
+        print(format_table3_hardware(result))
+    elif args.command == "accuracy":
+        result = run_table3_accuracy(_accuracy_config(args))
+        print(format_table3_accuracy(result))
+    elif args.command == "claims":
+        hardware = run_table3_hardware(calibrate=not args.raw)
+        print(format_headline_claims(summarize(hardware)))
+    else:  # pragma: no cover - argparse enforces the choices
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

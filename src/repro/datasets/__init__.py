@@ -1,0 +1,22 @@
+"""Datasets: synthetic MNIST-like digits plus a real-MNIST IDX loader."""
+
+from .mnist import DEFAULT_MNIST_DIR, load_dataset, load_mnist, read_idx
+from .synthetic import (
+    DIGIT_SEGMENTS,
+    SEGMENTS,
+    SyntheticDigits,
+    generate_digits,
+    render_digit,
+)
+
+__all__ = [
+    "SEGMENTS",
+    "DIGIT_SEGMENTS",
+    "render_digit",
+    "generate_digits",
+    "SyntheticDigits",
+    "read_idx",
+    "load_mnist",
+    "load_dataset",
+    "DEFAULT_MNIST_DIR",
+]

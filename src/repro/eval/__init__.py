@@ -1,0 +1,36 @@
+"""Experiment harness: reproduce every table of the paper's evaluation."""
+
+from .report import (
+    format_headline_claims,
+    format_table1,
+    format_table2,
+    format_table3_accuracy,
+    format_table3_hardware,
+)
+from .summary import HeadlineClaims, summarize
+from .table1 import Table1Result, multiplier_mse, run_table1
+from .table2 import ADDER_CONFIGS, Table2Result, adder_mse, run_table2
+from .table3_accuracy import AccuracyConfig, Table3AccuracyResult, run_table3_accuracy
+from .table3_hardware import Table3HardwareResult, run_table3_hardware
+
+__all__ = [
+    "run_table1",
+    "multiplier_mse",
+    "Table1Result",
+    "run_table2",
+    "adder_mse",
+    "Table2Result",
+    "ADDER_CONFIGS",
+    "run_table3_accuracy",
+    "AccuracyConfig",
+    "Table3AccuracyResult",
+    "run_table3_hardware",
+    "Table3HardwareResult",
+    "summarize",
+    "HeadlineClaims",
+    "format_table1",
+    "format_table2",
+    "format_table3_accuracy",
+    "format_table3_hardware",
+    "format_headline_claims",
+]

@@ -1,0 +1,117 @@
+"""Experiment E2 -- Table 2: stochastic adder MSE for different implementations.
+
+The paper compares the conventional MUX adder under three select/data
+generation schemes against the proposed TFF adder, again by exhaustively
+sweeping every representable input pair at 4-bit and 8-bit precision:
+
+* ``old_random_lfsr``  -- random data bit-streams, LFSR-driven select;
+* ``old_random_tff``   -- random data bit-streams, free-running-TFF select
+                          (a deterministic 0101... stream);
+* ``old_lfsr_tff``     -- LFSR-generated data, free-running-TFF select;
+* ``new_tff``          -- the proposed TFF adder (Fig. 2b); data streams come
+                          from low-discrepancy SNGs so the measurement
+                          isolates the adder's own error.
+
+The expected output in every case is the scaled sum ``(x + y) / 2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..bitstream import stream_length
+from ..rng import ComparatorSNG, LFSRSource, PseudoRandomSource, SobolSource, VanDerCorputSource
+from ..sc.elements.adders import mux_add, tff_add
+
+__all__ = ["ADDER_CONFIGS", "Table2Result", "adder_mse", "run_table2"]
+
+
+#: Human-readable labels matching the paper's Table 2 rows.
+ADDER_CONFIGS: Dict[str, str] = {
+    "old_random_lfsr": "Old adder: Random + LFSR",
+    "old_random_tff": "Old adder: Random + TFF",
+    "old_lfsr_tff": "Old adder: LFSR + TFF",
+    "new_tff": "New adder (Fig. 2b)",
+}
+
+
+@dataclass
+class Table2Result:
+    """MSE of stochastic addition for every configuration and precision."""
+
+    mse: Dict[str, Dict[int, float]]
+    precisions: Sequence[int]
+
+    def improvement_factor(self, precision: int) -> float:
+        """How much lower the new adder's MSE is than the best old configuration."""
+        old = min(
+            value[precision] for key, value in self.mse.items() if key != "new_tff"
+        )
+        new = self.mse["new_tff"][precision]
+        if new == 0:
+            return float("inf")
+        return old / new
+
+
+def _data_generators(config: str, precision: int, seed: int):
+    if config.startswith("old_random") :
+        return (
+            ComparatorSNG(PseudoRandomSource(seed=seed)),
+            ComparatorSNG(PseudoRandomSource(seed=seed + 1)),
+        )
+    if config == "old_lfsr_tff":
+        return (
+            ComparatorSNG(LFSRSource(precision, seed=seed)),
+            ComparatorSNG(LFSRSource(precision, seed=seed * 2 + 1)),
+        )
+    # new_tff: low-discrepancy data so only the adder's own error remains.
+    return (
+        ComparatorSNG(VanDerCorputSource(precision)),
+        ComparatorSNG(SobolSource(precision, dimension=1)),
+    )
+
+
+def _select_bits(config: str, precision: int, length: int, seed: int) -> np.ndarray:
+    if config == "old_random_lfsr":
+        reference = LFSRSource(precision, seed=seed + 7).sequence(length)
+        return (reference < 0.5).astype(np.uint8)
+    # Both "+ TFF" configurations use the free-running toggle select.
+    return (np.arange(length, dtype=np.int64) & 1).astype(np.uint8)
+
+
+def adder_mse(config: str, precision: int, seed: int = 1) -> float:
+    """Exhaustive MSE of one adder configuration at one precision."""
+    if config not in ADDER_CONFIGS:
+        raise ValueError(f"unknown adder config {config!r}; expected {sorted(ADDER_CONFIGS)}")
+    n = stream_length(precision)
+    values = np.arange(n + 1, dtype=np.float64) / n
+    sng_x, sng_y = _data_generators(config, precision, seed)
+    x_bits = sng_x.generate_bits(values, n)
+    y_bits = sng_y.generate_bits(values, n)
+    x_all = np.broadcast_to(x_bits[:, np.newaxis, :], (n + 1, n + 1, n))
+    y_all = np.broadcast_to(y_bits[np.newaxis, :, :], (n + 1, n + 1, n))
+
+    if config == "new_tff":
+        sums = tff_add(np.ascontiguousarray(x_all), np.ascontiguousarray(y_all))
+    else:
+        select = _select_bits(config, precision, n, seed)
+        sums = mux_add(x_all, y_all, select)
+    estimates = np.asarray(sums).sum(axis=-1, dtype=np.int64) / n
+    exact = 0.5 * (values[:, np.newaxis] + values[np.newaxis, :])
+    return float(np.mean((estimates - exact) ** 2))
+
+
+def run_table2(
+    precisions: Sequence[int] = (8, 4), configs: Sequence[str] | None = None, seed: int = 1
+) -> Table2Result:
+    """Reproduce Table 2 for the requested precisions and adder configurations."""
+    configs = list(configs) if configs is not None else list(ADDER_CONFIGS)
+    mse: Dict[str, Dict[int, float]] = {}
+    for config in configs:
+        mse[config] = {
+            precision: adder_mse(config, precision, seed=seed) for precision in precisions
+        }
+    return Table2Result(mse=mse, precisions=tuple(precisions))

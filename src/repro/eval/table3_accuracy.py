@@ -1,0 +1,202 @@
+"""Experiment E3 -- Table 3 (top): misclassification rate vs. first-layer precision.
+
+For every precision the harness produces three rows, mirroring the paper:
+
+* **Binary**    -- first layer quantized to ``b`` bits with a sign activation,
+                   evaluated in the binary domain, remaining layers retrained;
+* **Old SC**    -- the same retrained network, but the first layer evaluated
+                   with the conventional stochastic design (MUX adders, LFSR
+                   SNGs);
+* **This Work** -- the first layer evaluated with the proposed stochastic
+                   design (TFF adders, ramp-compare inputs, low-discrepancy
+                   weights).
+
+The experiment is CPU-budget-aware: dataset sizes, training epochs and the
+number of bit-exact evaluation images are configurable (environment variables
+``REPRO_TRAIN_SIZE``, ``REPRO_TEST_SIZE``, ``REPRO_EVAL_IMAGES``,
+``REPRO_BITEXACT``), and the stochastic rows default to the calibrated fast
+emulator validated against bit-exact simulation (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..datasets import load_dataset
+from ..hybrid import HybridStochasticBinaryNetwork
+from ..nn import Adam, Sequential, build_lenet5_small, quantize_and_freeze, retrain
+from ..sc import new_sc_engine, old_sc_engine
+
+__all__ = ["AccuracyConfig", "Table3AccuracyResult", "run_table3_accuracy"]
+
+
+@dataclass
+class AccuracyConfig:
+    """Knobs of the Table 3 accuracy experiment."""
+
+    precisions: Sequence[int] = (8, 7, 6, 5, 4, 3, 2)
+    train_size: Optional[int] = None
+    test_size: Optional[int] = None
+    baseline_epochs: int = 4
+    retrain_epochs: int = 3
+    batch_size: int = 64
+    learning_rate: float = 1e-3
+    #: First-layer evaluation mode for the stochastic rows: "emulate" or "bitexact"
+    #: ("bitexact" is selected automatically when REPRO_BITEXACT=1).
+    sc_mode: str = "emulate"
+    #: Precisions below this many bits are always evaluated bit-exactly even in
+    #: "emulate" mode: the calibrated emulator is validated for stream lengths
+    #: of 8 and above, and bit-exact simulation is cheap for short streams.
+    bitexact_below_bits: int = 4
+    #: Number of test images evaluated by the stochastic rows (None = all).
+    sc_eval_images: Optional[int] = None
+    #: Soft-threshold level for the stochastic sign activation (fraction of range).
+    soft_threshold: float = 0.02
+    #: Retrain the binary remainder against a first layer that emulates the
+    #: stochastic engine's resolution (input quantization + counter LSBs) for
+    #: the stochastic rows, per the paper's "compensate for precision losses
+    #: introduced by shorter stochastic bit-streams".  The Binary row always
+    #: uses plain binary-domain retraining.
+    sc_aware_retraining: bool = True
+    #: Evaluate a no-retraining ablation row as well.
+    include_no_retrain: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sc_mode not in ("emulate", "bitexact"):
+            raise ValueError("sc_mode must be 'emulate' or 'bitexact'")
+        if os.environ.get("REPRO_BITEXACT") == "1":
+            self.sc_mode = "bitexact"
+        if self.sc_eval_images is None:
+            env = os.environ.get("REPRO_EVAL_IMAGES")
+            if env is not None:
+                self.sc_eval_images = int(env)
+            elif self.sc_mode == "bitexact":
+                self.sc_eval_images = 100
+
+
+@dataclass
+class Table3AccuracyResult:
+    """Misclassification rates per design and precision, plus metadata."""
+
+    #: ``rates[design][precision]`` with designs "binary", "old_sc", "this_work"
+    #: (and optionally "binary_no_retrain").
+    rates: Dict[str, Dict[int, float]]
+    baseline_misclassification: float
+    config: AccuracyConfig
+    train_size: int
+    test_size: int
+
+    def gap_to_binary(self, design: str, precision: int) -> float:
+        """Misclassification gap (positive = worse than binary) at a precision."""
+        return self.rates[design][precision] - self.rates["binary"][precision]
+
+    def improvement_over_old_sc(self, precision: int) -> float:
+        """How much lower (better) the proposed design's error is vs. old SC."""
+        return self.rates["old_sc"][precision] - self.rates["this_work"][precision]
+
+
+def _train_baseline(
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    config: AccuracyConfig,
+) -> Sequential:
+    model = build_lenet5_small(seed=config.seed)
+    model.fit(
+        x_train,
+        y_train,
+        epochs=config.baseline_epochs,
+        batch_size=config.batch_size,
+        optimizer=Adam(config.learning_rate),
+        rng=np.random.default_rng(config.seed),
+    )
+    return model
+
+
+def run_table3_accuracy(config: Optional[AccuracyConfig] = None) -> Table3AccuracyResult:
+    """Run the full accuracy experiment and return every table row."""
+    config = config if config is not None else AccuracyConfig()
+    data = load_dataset(
+        train_size=config.train_size, test_size=config.test_size, seed=config.seed
+    )
+    x_train = data.x_train[:, np.newaxis, :, :]
+    x_test = data.x_test[:, np.newaxis, :, :]
+    y_train, y_test = data.y_train, data.y_test
+
+    baseline = _train_baseline(x_train, y_train, config)
+    baseline_rate = baseline.misclassification_rate(x_test, y_test)
+
+    rates: Dict[str, Dict[int, float]] = {"binary": {}, "old_sc": {}, "this_work": {}}
+    if config.include_no_retrain:
+        rates["binary_no_retrain"] = {}
+
+    sc_limit = config.sc_eval_images
+    for precision in config.precisions:
+        # --- Binary row: quantized weights + sign activation, retrained. ---
+        frozen = quantize_and_freeze(baseline, precision=precision)
+        if config.include_no_retrain:
+            rates["binary_no_retrain"][precision] = frozen.misclassification_rate(
+                x_test, y_test
+            )
+        retrain(
+            frozen,
+            x_train,
+            y_train,
+            epochs=config.retrain_epochs,
+            batch_size=config.batch_size,
+            optimizer=Adam(config.learning_rate),
+            rng=np.random.default_rng(config.seed + precision),
+        )
+        rates["binary"][precision] = frozen.misclassification_rate(x_test, y_test)
+
+        # --- Stochastic rows: optionally retrain against the SC resolution. ---
+        if config.sc_aware_retraining:
+            sc_model = quantize_and_freeze(
+                baseline,
+                precision=precision,
+                sc_resolution=True,
+                soft_threshold=config.soft_threshold,
+            )
+            retrain(
+                sc_model,
+                x_train,
+                y_train,
+                epochs=config.retrain_epochs,
+                batch_size=config.batch_size,
+                optimizer=Adam(config.learning_rate),
+                rng=np.random.default_rng(config.seed + 100 + precision),
+            )
+        else:
+            sc_model = frozen
+
+        mode = config.sc_mode
+        if mode == "emulate" and precision < config.bitexact_below_bits:
+            mode = "bitexact"
+        for design, engine_factory in (
+            ("this_work", new_sc_engine),
+            ("old_sc", old_sc_engine),
+        ):
+            hybrid = HybridStochasticBinaryNetwork(
+                sc_model,
+                engine=engine_factory(precision, seed=config.seed + 1),
+                soft_threshold=config.soft_threshold,
+                seed=config.seed,
+            )
+            rates[design][precision] = hybrid.misclassification_rate(
+                data.x_test,
+                y_test,
+                mode=mode,
+                limit=sc_limit,
+            )
+
+    return Table3AccuracyResult(
+        rates=rates,
+        baseline_misclassification=baseline_rate,
+        config=config,
+        train_size=x_train.shape[0],
+        test_size=x_test.shape[0],
+    )

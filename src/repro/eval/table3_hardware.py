@@ -1,0 +1,53 @@
+"""Experiments E4-E6 -- Table 3 (bottom): power, energy and area vs. precision.
+
+Thin wrapper around :class:`repro.hw.comparison.HardwareComparison` that
+returns the rows in the same layout as the paper's table and exposes the
+headline-figure helpers used by the summary experiment (E8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..hw import HardwareComparison, HardwareComparisonRow
+
+__all__ = ["Table3HardwareResult", "run_table3_hardware"]
+
+
+@dataclass
+class Table3HardwareResult:
+    """Hardware comparison rows plus convenience accessors."""
+
+    rows: List[HardwareComparisonRow]
+    calibrated: bool
+
+    def by_precision(self) -> Dict[int, HardwareComparisonRow]:
+        """Rows indexed by precision."""
+        return {row.precision: row for row in self.rows}
+
+    def energy_efficiency_at(self, precision: int) -> float:
+        """Binary-to-stochastic energy-per-frame ratio at a precision."""
+        return self.by_precision()[precision].energy_efficiency_ratio
+
+    def break_even_precision(self) -> int:
+        """Highest precision at which the stochastic design is at least as efficient."""
+        efficient = [
+            row.precision for row in self.rows if row.energy_efficiency_ratio >= 1.0
+        ]
+        if not efficient:
+            raise ValueError("stochastic design never breaks even")
+        return max(efficient)
+
+    def area_ratio_at(self, precision: int) -> float:
+        """Stochastic-to-binary area ratio at a precision."""
+        return self.by_precision()[precision].area_ratio
+
+
+def run_table3_hardware(
+    precisions: Sequence[int] = (8, 7, 6, 5, 4, 3, 2),
+    calibrate: bool = True,
+) -> Table3HardwareResult:
+    """Build the hardware half of Table 3."""
+    comparison = HardwareComparison(calibrate=calibrate)
+    return Table3HardwareResult(rows=comparison.rows(precisions), calibrated=calibrate)

@@ -1,0 +1,29 @@
+"""Hardware cost models for the Table 3 power / energy / area evaluation."""
+
+from .binary_engine import BinaryEngineModel, BinaryEngineReport
+from .comparison import (
+    PAPER_TABLE3_REFERENCE,
+    HardwareComparison,
+    HardwareComparisonRow,
+)
+from .stochastic_engine import StochasticEngineModel, StochasticEngineReport
+from .technology import (
+    DEFAULT_GEOMETRY,
+    DEFAULT_TECH,
+    SystemGeometry,
+    TechnologyParameters,
+)
+
+__all__ = [
+    "SystemGeometry",
+    "TechnologyParameters",
+    "DEFAULT_GEOMETRY",
+    "DEFAULT_TECH",
+    "StochasticEngineModel",
+    "StochasticEngineReport",
+    "BinaryEngineModel",
+    "BinaryEngineReport",
+    "HardwareComparison",
+    "HardwareComparisonRow",
+    "PAPER_TABLE3_REFERENCE",
+]

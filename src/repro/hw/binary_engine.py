@@ -1,0 +1,160 @@
+"""Cost model of the binary sliding-window convolution engine (Table 3, "Binary").
+
+The baseline design follows the paper's reference [23]: a conventional
+sliding-window convolution engine with one multiply-accumulate (MAC) unit per
+kernel, a per-unit window/weight register file, and a ``precision``-bit
+datapath.  Unlike the stochastic engine, lowering the precision *narrows the
+datapath* (linear-to-quadratic area and energy savings) but does not change
+the cycle count, so the binary engine must be clocked exponentially faster to
+match the stochastic engine's frame rate -- the root of the
+throughput-normalized power blow-up in Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional
+
+from ..netlist import Netlist, build_binary_mac, estimate_power
+from .technology import DEFAULT_GEOMETRY, DEFAULT_TECH, SystemGeometry, TechnologyParameters
+
+__all__ = ["BinaryEngineReport", "BinaryEngineModel"]
+
+
+@dataclass
+class BinaryEngineReport:
+    """Roll-up of one precision point of the binary engine."""
+
+    precision: int
+    area_mm2: float
+    power_mw: float
+    frequency_mhz: float
+    cycles_per_frame: int
+    frame_time_us: float
+    energy_per_frame_nj: float
+    throughput_fps: float
+
+
+class BinaryEngineModel:
+    """Area / power / energy model of the binary sliding-window engine."""
+
+    def __init__(
+        self,
+        precision: int,
+        geometry: SystemGeometry = DEFAULT_GEOMETRY,
+        tech: TechnologyParameters = DEFAULT_TECH,
+    ) -> None:
+        if precision < 2:
+            raise ValueError("precision must be at least 2 bits")
+        self.precision = int(precision)
+        self.geometry = geometry
+        self.tech = tech
+        # Accumulator: product width plus headroom for 25-tap accumulation.
+        self.accumulator_bits = 2 * self.precision + 5
+
+    # ------------------------------------------------------------------ #
+    # netlists
+    # ------------------------------------------------------------------ #
+    @lru_cache(maxsize=None)
+    def mac_netlist(self) -> Netlist:
+        """Netlist of one MAC unit (multiplier + accumulator)."""
+        return build_binary_mac(self.precision, self.accumulator_bits)
+
+    @lru_cache(maxsize=None)
+    def register_file_netlist(self) -> Netlist:
+        """Window and weight registers of one unit (two values per tap)."""
+        net = Netlist(f"window_registers_{self.precision}")
+        total_bits = 2 * self.geometry.taps * self.precision
+        d = net.add_input("d")
+        previous = d
+        for i in range(total_bits):
+            (previous,) = net.add_cell("DFF", [previous], outputs=[f"q{i}"])
+        net.add_output(previous)
+        return net
+
+    @property
+    def unit_count(self) -> int:
+        """Parallel MAC units: one per kernel."""
+        return self.geometry.kernels
+
+    # ------------------------------------------------------------------ #
+    # roll-ups
+    # ------------------------------------------------------------------ #
+    def area_mm2(self) -> float:
+        """Die area of the engine, in mm^2."""
+        unit_area = (
+            self.mac_netlist().total_area_um2()
+            + self.register_file_netlist().total_area_um2()
+        )
+        total_um2 = unit_area * self.unit_count * self.tech.wiring_overhead
+        return total_um2 / self.tech.utilization / 1e6
+
+    def cycles_per_frame(self) -> int:
+        """Cycles per frame: one MAC per tap per window (kernels run in parallel)."""
+        return self.geometry.windows * self.geometry.taps
+
+    def power_mw(
+        self, frequency_mhz: Optional[float] = None, activity: Optional[float] = None
+    ) -> float:
+        """Total power at the given clock (defaults to the reference binary clock)."""
+        frequency_mhz = (
+            frequency_mhz if frequency_mhz is not None else self.tech.binary_clock_mhz
+        )
+        activity = activity if activity is not None else self.tech.binary_activity
+        mac = estimate_power(self.mac_netlist(), frequency_mhz, activity=activity)
+        # The window registers shift one new pixel per cycle, so only a small
+        # fraction of their bits toggle: use a quarter of the datapath activity.
+        regs = estimate_power(
+            self.register_file_netlist(), frequency_mhz, activity=activity * 0.25
+        )
+        total = (mac.total_mw + regs.total_mw) * self.unit_count
+        return total * self.tech.wiring_overhead
+
+    def matched_frequency_mhz(self, target_fps: float) -> float:
+        """Clock needed to sustain ``target_fps`` frames per second."""
+        if target_fps <= 0:
+            raise ValueError("target_fps must be positive")
+        return self.cycles_per_frame() * target_fps / 1e6
+
+    def frame_time_us(self, frequency_mhz: Optional[float] = None) -> float:
+        """Frame processing time at the given clock, in microseconds."""
+        frequency_mhz = (
+            frequency_mhz if frequency_mhz is not None else self.tech.binary_clock_mhz
+        )
+        return self.cycles_per_frame() / frequency_mhz
+
+    def energy_per_frame_nj(
+        self, frequency_mhz: Optional[float] = None, activity: Optional[float] = None
+    ) -> float:
+        """Energy per frame in nJ.
+
+        Dynamic energy per frame is frequency-independent (same number of
+        toggles per frame); only the leakage contribution depends on how long
+        the frame takes, which is why the value barely changes with the clock.
+        """
+        frequency_mhz = (
+            frequency_mhz if frequency_mhz is not None else self.tech.binary_clock_mhz
+        )
+        power = self.power_mw(frequency_mhz, activity)
+        return power * self.frame_time_us(frequency_mhz)
+
+    def report(
+        self, target_fps: Optional[float] = None
+    ) -> BinaryEngineReport:
+        """Full roll-up; ``target_fps`` selects throughput-normalized clocking."""
+        if target_fps is not None:
+            frequency = self.matched_frequency_mhz(target_fps)
+        else:
+            frequency = self.tech.binary_clock_mhz
+        frame_time = self.frame_time_us(frequency)
+        return BinaryEngineReport(
+            precision=self.precision,
+            area_mm2=self.area_mm2(),
+            power_mw=self.power_mw(frequency),
+            frequency_mhz=frequency,
+            cycles_per_frame=self.cycles_per_frame(),
+            frame_time_us=frame_time,
+            energy_per_frame_nj=self.energy_per_frame_nj(frequency),
+            throughput_fps=1e6 / frame_time,
+        )

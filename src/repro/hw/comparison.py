@@ -1,0 +1,169 @@
+"""Throughput-normalized comparison of the two convolution engines (Table 3).
+
+For every precision point the comparison
+
+1. builds the stochastic engine model and takes its frame rate as the target
+   throughput;
+2. clocks the binary engine model fast enough to match that throughput
+   (the paper's throughput normalization);
+3. reports power, energy per frame and area for both designs.
+
+Because this reproduction replaces the Synopsys sign-off flow with a
+gate-count cost model (see DESIGN.md), the absolute scale of each engine can
+optionally be *anchored* to the paper's published 8-bit synthesis results via
+``calibrate=True``: a single multiplicative factor per engine is chosen so
+the 8-bit power matches Table 3, and every other precision then follows from
+the structural model.  Uncalibrated (raw model) numbers are always available
+with ``calibrate=False``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from .binary_engine import BinaryEngineModel
+from .stochastic_engine import StochasticEngineModel
+from .technology import DEFAULT_GEOMETRY, DEFAULT_TECH, SystemGeometry, TechnologyParameters
+
+__all__ = [
+    "PAPER_TABLE3_REFERENCE",
+    "HardwareComparisonRow",
+    "HardwareComparison",
+]
+
+
+#: The paper's published Table 3 hardware rows (power in mW, energy in
+#: nJ/frame, area in mm^2), used for anchoring and for the EXPERIMENTS.md
+#: paper-vs-measured comparison.
+PAPER_TABLE3_REFERENCE: Dict[str, Dict[int, float]] = {
+    "binary_power_mw": {8: 40.95, 7: 72.80, 6: 121.52, 5: 204.96, 4: 325.36, 3: 501.76, 2: 683.20},
+    "sc_power_mw": {8: 33.17, 7: 33.55, 6: 33.26, 5: 33.01, 4: 33.20, 3: 29.96, 2: 28.35},
+    "binary_energy_nj": {8: 670.92, 7: 596.38, 6: 497.74, 5: 419.76, 4: 333.17, 3: 256.90, 2: 174.90},
+    "sc_energy_nj": {8: 543.42, 7: 274.82, 6: 136.22, 5: 67.60, 4: 34.00, 3: 15.34, 2: 7.26},
+    "binary_area_mm2": {8: 1.313, 7: 1.094, 6: 0.891, 5: 0.710, 4: 0.543, 3: 0.391, 2: 0.255},
+    "sc_area_mm2": {8: 1.321, 7: 1.282, 6: 1.240, 5: 1.200, 4: 1.166, 3: 1.110, 2: 1.057},
+}
+
+
+@dataclass
+class HardwareComparisonRow:
+    """One precision column of the Table 3 hardware section."""
+
+    precision: int
+    binary_power_mw: float
+    sc_power_mw: float
+    binary_energy_nj: float
+    sc_energy_nj: float
+    binary_area_mm2: float
+    sc_area_mm2: float
+    matched_binary_clock_mhz: float
+    sc_throughput_fps: float
+
+    @property
+    def energy_efficiency_ratio(self) -> float:
+        """How many times less energy per frame the stochastic design uses."""
+        return self.binary_energy_nj / self.sc_energy_nj
+
+    @property
+    def power_ratio(self) -> float:
+        """Throughput-normalized power advantage of the stochastic design."""
+        return self.binary_power_mw / self.sc_power_mw
+
+    @property
+    def area_ratio(self) -> float:
+        """Area of the stochastic design relative to the binary design."""
+        return self.sc_area_mm2 / self.binary_area_mm2
+
+
+class HardwareComparison:
+    """Builds the hardware half of Table 3 for a set of precisions."""
+
+    #: Precision at which calibration factors are anchored.
+    ANCHOR_PRECISION = 8
+
+    def __init__(
+        self,
+        geometry: SystemGeometry = DEFAULT_GEOMETRY,
+        tech: TechnologyParameters = DEFAULT_TECH,
+        calibrate: bool = True,
+    ) -> None:
+        self.geometry = geometry
+        self.tech = tech
+        self.calibrate = bool(calibrate)
+        self._factors = self._calibration_factors() if calibrate else {
+            "binary_power": 1.0,
+            "sc_power": 1.0,
+            "binary_area": 1.0,
+            "sc_area": 1.0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # calibration
+    # ------------------------------------------------------------------ #
+    def _raw_row(self, precision: int) -> HardwareComparisonRow:
+        sc = StochasticEngineModel(precision, self.geometry, self.tech)
+        binary = BinaryEngineModel(precision, self.geometry, self.tech)
+        target_fps = sc.throughput_fps()
+        matched_clock = binary.matched_frequency_mhz(target_fps)
+        return HardwareComparisonRow(
+            precision=precision,
+            binary_power_mw=binary.power_mw(matched_clock),
+            sc_power_mw=sc.power_mw(),
+            binary_energy_nj=binary.energy_per_frame_nj(matched_clock),
+            sc_energy_nj=sc.energy_per_frame_nj(),
+            binary_area_mm2=binary.area_mm2(),
+            sc_area_mm2=sc.area_mm2(),
+            matched_binary_clock_mhz=matched_clock,
+            sc_throughput_fps=target_fps,
+        )
+
+    def _calibration_factors(self) -> Dict[str, float]:
+        anchor = self._raw_row(self.ANCHOR_PRECISION)
+        reference = PAPER_TABLE3_REFERENCE
+        p = self.ANCHOR_PRECISION
+        return {
+            "binary_power": reference["binary_power_mw"][p] / anchor.binary_power_mw,
+            "sc_power": reference["sc_power_mw"][p] / anchor.sc_power_mw,
+            "binary_area": reference["binary_area_mm2"][p] / anchor.binary_area_mm2,
+            "sc_area": reference["sc_area_mm2"][p] / anchor.sc_area_mm2,
+        }
+
+    @property
+    def calibration_factors(self) -> Dict[str, float]:
+        """The multiplicative anchoring factors currently in effect."""
+        return dict(self._factors)
+
+    # ------------------------------------------------------------------ #
+    # table generation
+    # ------------------------------------------------------------------ #
+    def row(self, precision: int) -> HardwareComparisonRow:
+        """One calibrated (or raw) comparison row."""
+        raw = self._raw_row(precision)
+        f = self._factors
+        return HardwareComparisonRow(
+            precision=precision,
+            binary_power_mw=raw.binary_power_mw * f["binary_power"],
+            sc_power_mw=raw.sc_power_mw * f["sc_power"],
+            binary_energy_nj=raw.binary_energy_nj * f["binary_power"],
+            sc_energy_nj=raw.sc_energy_nj * f["sc_power"],
+            binary_area_mm2=raw.binary_area_mm2 * f["binary_area"],
+            sc_area_mm2=raw.sc_area_mm2 * f["sc_area"],
+            matched_binary_clock_mhz=raw.matched_binary_clock_mhz,
+            sc_throughput_fps=raw.sc_throughput_fps,
+        )
+
+    def rows(self, precisions: Sequence[int] = (8, 7, 6, 5, 4, 3, 2)) -> List[HardwareComparisonRow]:
+        """Comparison rows for every requested precision."""
+        return [self.row(p) for p in precisions]
+
+    def break_even_precision(self, precisions: Sequence[int] = (8, 7, 6, 5, 4, 3, 2)) -> int:
+        """Highest precision at which the stochastic design is at least as energy efficient."""
+        efficient = [
+            row.precision
+            for row in self.rows(precisions)
+            if row.energy_efficiency_ratio >= 1.0
+        ]
+        if not efficient:
+            raise ValueError("stochastic design never breaks even in the given range")
+        return max(efficient)

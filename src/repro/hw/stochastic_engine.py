@@ -1,0 +1,139 @@
+"""Cost model of the stochastic convolution engine array (Table 3, "This Work").
+
+The stochastic design instantiates one dot-product engine per output
+position (784 of them), shares a bank of weight SNGs across all engines, and
+iterates over the 32 kernels; each kernel evaluation takes one bit-stream
+length (``2**precision`` cycles).  Precision therefore changes the *run
+time* exponentially while leaving the logic almost untouched -- exactly the
+behaviour the paper reports (near-constant power and area, exponentially
+shrinking energy per frame).
+
+Area, power and energy are derived from the gate-level netlists of
+:mod:`repro.netlist.circuits` using the 65 nm-like cell library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional
+
+from ..netlist import (
+    Netlist,
+    build_sc_dot_product,
+    build_sng,
+    estimate_power,
+)
+from ..rng.lfsr import MAXIMAL_TAPS
+from .technology import DEFAULT_GEOMETRY, DEFAULT_TECH, SystemGeometry, TechnologyParameters
+
+__all__ = ["StochasticEngineReport", "StochasticEngineModel"]
+
+
+@dataclass
+class StochasticEngineReport:
+    """Roll-up of one precision point of the stochastic engine."""
+
+    precision: int
+    area_mm2: float
+    power_mw: float
+    cycles_per_frame: int
+    frame_time_us: float
+    energy_per_frame_nj: float
+    throughput_fps: float
+
+
+class StochasticEngineModel:
+    """Area / power / energy model of the full stochastic convolution array."""
+
+    def __init__(
+        self,
+        precision: int,
+        geometry: SystemGeometry = DEFAULT_GEOMETRY,
+        tech: TechnologyParameters = DEFAULT_TECH,
+        adder: str = "tff",
+    ) -> None:
+        if precision < 2:
+            raise ValueError("precision must be at least 2 bits")
+        self.precision = int(precision)
+        self.geometry = geometry
+        self.tech = tech
+        self.adder = adder
+        # Counter width: enough for the tree output over one stream length.
+        self.counter_bits = self.precision + 1
+
+    # ------------------------------------------------------------------ #
+    # netlists
+    # ------------------------------------------------------------------ #
+    @lru_cache(maxsize=None)
+    def unit_netlist(self) -> Netlist:
+        """Netlist of one stochastic dot-product engine."""
+        return build_sc_dot_product(
+            self.geometry.taps, self.counter_bits, adder=self.adder
+        )
+
+    @lru_cache(maxsize=None)
+    def sng_bank_netlist(self) -> Netlist:
+        """Netlist of one weight SNG (the bank holds two per tap, shared by all units)."""
+        taps = MAXIMAL_TAPS.get(self.precision, MAXIMAL_TAPS[8])
+        return build_sng(self.precision, taps)
+
+    @property
+    def sng_count(self) -> int:
+        """Weight SNGs in the shared bank: positive and negative stream per tap."""
+        return 2 * self.geometry.taps
+
+    # ------------------------------------------------------------------ #
+    # roll-ups
+    # ------------------------------------------------------------------ #
+    def area_mm2(self) -> float:
+        """Die area of the array plus the shared SNG bank, in mm^2."""
+        unit_area = self.unit_netlist().total_area_um2()
+        sng_area = self.sng_bank_netlist().total_area_um2() * self.sng_count
+        total_um2 = (
+            unit_area * self.geometry.windows + sng_area
+        ) * self.tech.wiring_overhead
+        return total_um2 / self.tech.utilization / 1e6
+
+    def power_mw(self, activity: Optional[float] = None) -> float:
+        """Total power of the array at the stochastic core clock, in mW."""
+        activity = activity if activity is not None else self.tech.sc_activity
+        unit_report = estimate_power(
+            self.unit_netlist(), self.tech.sc_clock_mhz, activity=activity
+        )
+        sng_report = estimate_power(
+            self.sng_bank_netlist(), self.tech.sc_clock_mhz, activity=activity
+        )
+        total = (
+            unit_report.total_mw * self.geometry.windows
+            + sng_report.total_mw * self.sng_count
+        )
+        return total * self.tech.wiring_overhead
+
+    def cycles_per_frame(self) -> int:
+        """Clock cycles needed per frame: one stream length per kernel."""
+        return self.geometry.kernels * (1 << self.precision)
+
+    def frame_time_us(self) -> float:
+        """Time to process one frame, in microseconds."""
+        return self.cycles_per_frame() / self.tech.sc_clock_mhz
+
+    def throughput_fps(self) -> float:
+        """Frames per second at the stochastic core clock."""
+        return 1e6 / self.frame_time_us()
+
+    def energy_per_frame_nj(self, activity: Optional[float] = None) -> float:
+        """Energy per frame in nJ (power x frame time)."""
+        return self.power_mw(activity) * self.frame_time_us() * 1e-3 * 1e3
+
+    def report(self) -> StochasticEngineReport:
+        """Full roll-up at this precision."""
+        return StochasticEngineReport(
+            precision=self.precision,
+            area_mm2=self.area_mm2(),
+            power_mw=self.power_mw(),
+            cycles_per_frame=self.cycles_per_frame(),
+            frame_time_us=self.frame_time_us(),
+            energy_per_frame_nj=self.energy_per_frame_nj(),
+            throughput_fps=self.throughput_fps(),
+        )

@@ -1,0 +1,12 @@
+"""The hybrid stochastic-binary network: acquisition, SC first layer, binary rest."""
+
+from .acquisition import SensorFrontEnd
+from .emulation import CalibratedSCEmulator, EmulationModel
+from .pipeline import HybridStochasticBinaryNetwork
+
+__all__ = [
+    "SensorFrontEnd",
+    "CalibratedSCEmulator",
+    "EmulationModel",
+    "HybridStochasticBinaryNetwork",
+]

@@ -1,0 +1,52 @@
+"""Gate-level netlist substrate: cells, netlists, simulation, power and area."""
+
+from .cells import CELL_LIBRARY, Cell, cell, nand2_equivalents
+from .circuits import (
+    build_adder_tree,
+    build_and_multiplier,
+    build_array_multiplier,
+    build_binary_mac,
+    build_comparator,
+    build_counter,
+    build_lfsr,
+    build_mux_adder,
+    build_ripple_adder,
+    build_sc_dot_product,
+    build_sng,
+    build_tff_adder,
+)
+from .netlist import Instance, Netlist
+from .power import (
+    PowerReport,
+    energy_per_frame_nj,
+    estimate_area_mm2,
+    estimate_power,
+)
+from .simulator import SimulationResult, simulate
+
+__all__ = [
+    "Cell",
+    "CELL_LIBRARY",
+    "cell",
+    "nand2_equivalents",
+    "Instance",
+    "Netlist",
+    "SimulationResult",
+    "simulate",
+    "PowerReport",
+    "estimate_power",
+    "estimate_area_mm2",
+    "energy_per_frame_nj",
+    "build_and_multiplier",
+    "build_mux_adder",
+    "build_tff_adder",
+    "build_adder_tree",
+    "build_counter",
+    "build_comparator",
+    "build_lfsr",
+    "build_sng",
+    "build_sc_dot_product",
+    "build_ripple_adder",
+    "build_array_multiplier",
+    "build_binary_mac",
+]

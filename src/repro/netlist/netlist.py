@@ -1,0 +1,240 @@
+"""The gate-level netlist graph.
+
+A :class:`Netlist` is a named collection of cell *instances* connected by
+*nets* (wires).  It plays the role of the post-synthesis gate-level netlist
+in the paper's evaluation flow: circuit generators build netlists for the
+stochastic and binary convolution engines, the cycle simulator
+(:mod:`repro.netlist.simulator`) executes them against image traces to obtain
+switching activity, and the area/power models roll the results up into the
+Table 3 numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .cells import Cell, cell
+
+__all__ = ["Instance", "Netlist"]
+
+
+@dataclass
+class Instance:
+    """One placed cell instance."""
+
+    name: str
+    cell: Cell
+    inputs: Tuple[str, ...]
+    outputs: Tuple[str, ...]
+    #: Initial state for sequential cells (ignored for combinational ones).
+    initial_state: int = 0
+
+
+class Netlist:
+    """A flat gate-level netlist.
+
+    Nets are identified by strings.  The constant nets ``"0"`` and ``"1"``
+    are always available and driven by the corresponding logic levels.
+    """
+
+    CONSTANT_NETS = ("0", "1")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.instances: List[Instance] = []
+        self.primary_inputs: List[str] = []
+        self.primary_outputs: List[str] = []
+        self._drivers: Dict[str, str] = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_input(self, net: str) -> str:
+        """Declare a primary input net."""
+        if net in self._drivers:
+            raise ValueError(f"net {net!r} already has a driver")
+        if net in self.primary_inputs:
+            raise ValueError(f"primary input {net!r} already declared")
+        self.primary_inputs.append(net)
+        self._drivers[net] = "<input>"
+        return net
+
+    def add_inputs(self, prefix: str, count: int) -> List[str]:
+        """Declare ``count`` primary inputs named ``prefix0 .. prefix{count-1}``."""
+        return [self.add_input(f"{prefix}{i}") for i in range(count)]
+
+    def add_output(self, net: str) -> str:
+        """Mark an existing net as a primary output."""
+        if net not in self.primary_outputs:
+            self.primary_outputs.append(net)
+        return net
+
+    def new_net(self, hint: str = "n") -> str:
+        """Return a fresh internal net name."""
+        self._counter += 1
+        return f"{hint}_{self._counter}"
+
+    def add_cell(
+        self,
+        cell_name: str,
+        inputs: Sequence[str],
+        outputs: Optional[Sequence[str]] = None,
+        instance_name: Optional[str] = None,
+        initial_state: int = 0,
+    ) -> Tuple[str, ...]:
+        """Instantiate a cell and return its output net name(s).
+
+        Parameters
+        ----------
+        cell_name:
+            A name from :data:`repro.netlist.cells.CELL_LIBRARY`.
+        inputs:
+            Net names connected to the cell's input pins, in pin order.
+        outputs:
+            Optional explicit output net names; fresh nets are created when
+            omitted.
+        instance_name:
+            Optional explicit instance name.
+        initial_state:
+            Power-on state for sequential cells.
+        """
+        ctype = cell(cell_name)
+        if len(inputs) != len(ctype.inputs):
+            raise ValueError(
+                f"{cell_name} expects {len(ctype.inputs)} inputs "
+                f"({ctype.inputs}), got {len(inputs)}"
+            )
+        if outputs is None:
+            outputs = [self.new_net(f"{cell_name.lower()}_{pin.lower()}") for pin in ctype.outputs]
+        if len(outputs) != len(ctype.outputs):
+            raise ValueError(
+                f"{cell_name} produces {len(ctype.outputs)} outputs, "
+                f"got {len(outputs)} names"
+            )
+        name = instance_name or f"u{len(self.instances)}_{cell_name.lower()}"
+        for net in outputs:
+            if net in self._drivers:
+                raise ValueError(f"net {net!r} already has a driver")
+            self._drivers[net] = name
+        self.instances.append(
+            Instance(
+                name=name,
+                cell=ctype,
+                inputs=tuple(inputs),
+                outputs=tuple(outputs),
+                initial_state=int(initial_state),
+            )
+        )
+        return tuple(outputs)
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def nets(self) -> List[str]:
+        """All driven nets (excluding constants)."""
+        return list(self._drivers)
+
+    def driver_of(self, net: str) -> Optional[str]:
+        """Instance name driving ``net`` (``"<input>"`` for primary inputs)."""
+        return self._drivers.get(net)
+
+    def validate(self) -> None:
+        """Check that every instance input is driven by something.
+
+        Builders may instantiate cells in any order (e.g. a flip-flop whose
+        input comes from logic added later), so the driver check is deferred
+        to this method, which the simulator calls before running.
+        """
+        driven = set(self._drivers) | set(self.CONSTANT_NETS)
+        for inst in self.instances:
+            for net in inst.inputs:
+                if net not in driven:
+                    raise ValueError(
+                        f"net {net!r} used by instance {inst.name!r} has no driver"
+                    )
+
+    def cell_counts(self) -> Dict[str, int]:
+        """Histogram of cell types used."""
+        counts: Dict[str, int] = {}
+        for inst in self.instances:
+            counts[inst.cell.name] = counts.get(inst.cell.name, 0) + 1
+        return counts
+
+    def combinational_instances(self) -> List[Instance]:
+        """All combinational instances."""
+        return [inst for inst in self.instances if not inst.cell.sequential]
+
+    def sequential_instances(self) -> List[Instance]:
+        """All sequential (state-holding) instances."""
+        return [inst for inst in self.instances if inst.cell.sequential]
+
+    def topological_order(self) -> List[Instance]:
+        """Combinational instances ordered so every input is driven before use.
+
+        Sequential cell outputs and primary inputs are treated as sources.
+        Raises ``ValueError`` if the combinational logic contains a cycle.
+        """
+        ready = set(self.primary_inputs) | set(self.CONSTANT_NETS)
+        for inst in self.sequential_instances():
+            ready.update(inst.outputs)
+
+        remaining = list(self.combinational_instances())
+        ordered: List[Instance] = []
+        while remaining:
+            progress = False
+            still_waiting = []
+            for inst in remaining:
+                if all(net in ready for net in inst.inputs):
+                    ordered.append(inst)
+                    ready.update(inst.outputs)
+                    progress = True
+                else:
+                    still_waiting.append(inst)
+            if not progress:
+                blocked = [inst.name for inst in still_waiting[:5]]
+                raise ValueError(
+                    f"combinational cycle or undriven net detected near {blocked}"
+                )
+            remaining = still_waiting
+        return ordered
+
+    def total_area_um2(self) -> float:
+        """Sum of all placed cell areas (used by :mod:`repro.netlist.power`)."""
+        return float(sum(inst.cell.area_um2 for inst in self.instances))
+
+    def merge(self, other: "Netlist", prefix: str) -> Dict[str, str]:
+        """Copy another netlist into this one with renamed nets.
+
+        Returns the mapping from the other netlist's net names to the new
+        names; the other netlist's primary inputs become fresh primary inputs
+        here unless a net of the mapped name already exists.
+        """
+        mapping: Dict[str, str] = {c: c for c in self.CONSTANT_NETS}
+        for net in other.primary_inputs:
+            new_name = f"{prefix}_{net}"
+            if new_name not in self._drivers:
+                self.add_input(new_name)
+            mapping[net] = new_name
+        for inst in other.instances:
+            new_outputs = [f"{prefix}_{net}" for net in inst.outputs]
+            mapping.update(dict(zip(inst.outputs, new_outputs)))
+        for inst in other.instances:
+            self.add_cell(
+                inst.cell.name,
+                [mapping[n] for n in inst.inputs],
+                outputs=[mapping[n] for n in inst.outputs],
+                instance_name=f"{prefix}_{inst.name}",
+                initial_state=inst.initial_state,
+            )
+        for net in other.primary_outputs:
+            self.add_output(mapping[net])
+        return mapping
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist({self.name!r}, cells={len(self.instances)}, "
+            f"inputs={len(self.primary_inputs)}, outputs={len(self.primary_outputs)})"
+        )

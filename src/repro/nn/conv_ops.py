@@ -1,0 +1,100 @@
+"""im2col / col2im primitives for multi-channel convolutions.
+
+The numpy convolution layers lower convolution onto matrix multiplication:
+``im2col`` unfolds the input into patch rows, the kernel bank becomes a
+``(filters, C*kh*kw)`` matrix, and the convolution is a single ``matmul``.
+``col2im`` is the adjoint operation needed for the input gradient in
+backpropagation.
+
+Data layout everywhere is ``(batch, channels, height, width)``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["im2col", "col2im", "conv_output_hw"]
+
+
+def conv_output_hw(
+    height: int, width: int, kernel: Tuple[int, int], stride: int, padding: int
+) -> Tuple[int, int]:
+    """Output spatial size of a convolution."""
+    kh, kw = kernel
+    out_h = (height + 2 * padding - kh) // stride + 1
+    out_w = (width + 2 * padding - kw) // stride + 1
+    if out_h < 1 or out_w < 1:
+        raise ValueError(
+            f"invalid convolution geometry: input {height}x{width}, kernel {kernel}, "
+            f"stride {stride}, padding {padding}"
+        )
+    return out_h, out_w
+
+
+def im2col(
+    x: np.ndarray, kernel: Tuple[int, int], stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Unfold ``(B, C, H, W)`` inputs into ``(B, out_h*out_w, C*kh*kw)`` patch rows."""
+    if x.ndim != 4:
+        raise ValueError(f"expected (B, C, H, W) input, got shape {x.shape}")
+    batch, channels, height, width = x.shape
+    kh, kw = kernel
+    out_h, out_w = conv_output_hw(height, width, kernel, stride, padding)
+
+    if padding > 0:
+        x = np.pad(
+            x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+        )
+
+    s0, s1, s2, s3 = x.strides
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(batch, channels, out_h, out_w, kh, kw),
+        strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
+        writeable=False,
+    )
+    # (B, out_h, out_w, C, kh, kw) -> (B, P, C*kh*kw)
+    patches = view.transpose(0, 2, 3, 1, 4, 5).reshape(
+        batch, out_h * out_w, channels * kh * kw
+    )
+    return np.ascontiguousarray(patches)
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter patch rows back onto the input grid.
+
+    Overlapping patch contributions are summed, which is exactly the input
+    gradient of a convolution.
+    """
+    batch, channels, height, width = input_shape
+    kh, kw = kernel
+    out_h, out_w = conv_output_hw(height, width, kernel, stride, padding)
+    if cols.shape != (batch, out_h * out_w, channels * kh * kw):
+        raise ValueError(
+            f"cols shape {cols.shape} does not match expected "
+            f"{(batch, out_h * out_w, channels * kh * kw)}"
+        )
+
+    padded = np.zeros(
+        (batch, channels, height + 2 * padding, width + 2 * padding), dtype=cols.dtype
+    )
+    reshaped = cols.reshape(batch, out_h, out_w, channels, kh, kw)
+    for i in range(kh):
+        for j in range(kw):
+            padded[
+                :,
+                :,
+                i : i + stride * out_h : stride,
+                j : j + stride * out_w : stride,
+            ] += reshaped[:, :, :, :, i, j].transpose(0, 3, 1, 2)
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded

@@ -1,0 +1,148 @@
+"""Stochastic number generators (SNGs).
+
+An SNG converts a binary (or analog) value into a stochastic bit-stream by
+comparing it against a number source every clock cycle (Fig. 1c of the
+paper).  The accuracy of stochastic arithmetic is dominated by which sources
+drive the SNGs and how those sources relate to each other -- that is exactly
+what Table 1 of the paper quantifies.  This module provides:
+
+* :class:`ComparatorSNG` -- the generic comparator-based SNG over any
+  :class:`~repro.rng.sources.NumberSource`;
+* :class:`RampCompareSNG` -- the analog-to-stochastic converter variant used
+  for the sensor input;
+* :func:`sng_pair` -- a factory for the four input-pair generation schemes
+  compared in Table 1, by name.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..bitstream import Bitstream, to_probability
+from .lfsr import ALTERNATE_TAPS, LFSRSource, RotatedLFSRSource
+from .lowdiscrepancy import SobolSource, VanDerCorputSource
+from .ramp import RampSource
+from .sources import NumberSource, PseudoRandomSource
+
+__all__ = [
+    "ComparatorSNG",
+    "RampCompareSNG",
+    "sng_pair",
+    "TABLE1_SCHEMES",
+]
+
+
+class ComparatorSNG:
+    """A comparator-based stochastic number generator.
+
+    Parameters
+    ----------
+    source:
+        The number source feeding the comparator's reference input.
+    encoding:
+        How input values are interpreted ("unipolar" or "bipolar").  Bipolar
+        values are first mapped to their ones-probability.
+    """
+
+    def __init__(self, source: NumberSource, encoding: str = "unipolar") -> None:
+        self.source = source
+        self.encoding = encoding
+
+    def generate(self, value: float, length: int) -> Bitstream:
+        """Generate a ``length``-bit stream encoding ``value``."""
+        bits = self.generate_bits(np.asarray([value]), length)[0]
+        return Bitstream(bits, encoding=self.encoding)
+
+    def generate_bits(self, values: np.ndarray, length: int) -> np.ndarray:
+        """Vectorized generation: returns shape ``values.shape + (length,)`` uint8.
+
+        Every value is compared against the *same* source sequence, which
+        models a bank of SNGs sharing one number source -- the arrangement
+        used for the weight generators in the paper's convolution engine
+        (the source cost is amortized across all units).
+        """
+        p = to_probability(np.asarray(values, dtype=np.float64), self.encoding)
+        ref = self.source.sequence(length)
+        return (ref < p[..., np.newaxis]).astype(np.uint8)
+
+    def __repr__(self) -> str:
+        return f"ComparatorSNG(source={self.source!r}, encoding={self.encoding!r})"
+
+
+class RampCompareSNG(ComparatorSNG):
+    """The ramp-compare analog-to-stochastic converter (paper Section IV-A).
+
+    Functionally an SNG whose reference input is a ramp rather than a random
+    number; the generated stream has exact ones-counts but maximal
+    auto-correlation.  ``descending`` selects the falling-ramp variant.
+    """
+
+    def __init__(
+        self, bits: int, descending: bool = False, encoding: str = "unipolar"
+    ) -> None:
+        super().__init__(RampSource(bits, descending=descending), encoding=encoding)
+
+
+#: Names of the four number-generation schemes evaluated in Table 1, mapped to
+#: a short description.  Use with :func:`sng_pair`.
+TABLE1_SCHEMES = {
+    "shared_lfsr": "One LFSR + shifted version",
+    "two_lfsrs": "Two LFSRs",
+    "low_discrepancy": "Low-discrepancy sequences [4]",
+    "ramp_low_discrepancy": "Ramp-compare [13] + [4]",
+}
+
+
+def sng_pair(
+    scheme: str, precision: int, seed: int = 1
+) -> Tuple[ComparatorSNG, ComparatorSNG]:
+    """Return the pair of SNGs implementing one Table 1 scheme.
+
+    Parameters
+    ----------
+    scheme:
+        One of the keys of :data:`TABLE1_SCHEMES`.
+    precision:
+        Binary precision in bits; the generated streams have length
+        ``2**precision``.
+    seed:
+        Seed for the LFSR-based schemes (any non-zero register value).
+
+    Returns
+    -------
+    (sng_x, sng_y):
+        The generators for the first and second multiplier input.
+    """
+    if scheme == "shared_lfsr":
+        base = LFSRSource(precision, seed=seed)
+        # The "shifted version" is the same register read through rotated
+        # wires: zero extra hardware, but the two streams stay correlated.
+        return ComparatorSNG(base), ComparatorSNG(RotatedLFSRSource(base, rotation=1))
+    if scheme == "two_lfsrs":
+        first = LFSRSource(precision, seed=seed)
+        period = (1 << precision) - 1
+        second_seed = (4 * seed) % period or 1
+        taps = ALTERNATE_TAPS.get(precision)
+        second = LFSRSource(precision, seed=second_seed, taps=taps)
+        return ComparatorSNG(first), ComparatorSNG(second)
+    if scheme == "low_discrepancy":
+        return (
+            ComparatorSNG(VanDerCorputSource(precision)),
+            ComparatorSNG(SobolSource(precision, dimension=1)),
+        )
+    if scheme == "ramp_low_discrepancy":
+        return (
+            RampCompareSNG(precision),
+            ComparatorSNG(SobolSource(precision, dimension=1)),
+        )
+    if scheme == "random":
+        # Not part of Table 1 but used by Table 2's "Random + ..." adder rows.
+        return (
+            ComparatorSNG(PseudoRandomSource(seed=seed)),
+            ComparatorSNG(PseudoRandomSource(seed=seed + 1)),
+        )
+    raise ValueError(
+        f"unknown scheme {scheme!r}; expected one of {sorted(TABLE1_SCHEMES)} or 'random'"
+    )

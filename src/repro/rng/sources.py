@@ -1,0 +1,113 @@
+"""Number-source abstractions for stochastic number generation.
+
+A comparator-based stochastic number generator (SNG, Fig. 1c of the paper)
+pairs a *number source* with a comparator: at every clock cycle the source
+emits a value ``r`` in ``[0, 1)`` and the SNG outputs ``1`` when ``r`` is
+below the target probability.  The quality of the resulting bit-stream --
+and therefore the accuracy of the whole stochastic circuit -- is determined
+almost entirely by the number source (Table 1 of the paper).
+
+This module defines the :class:`NumberSource` interface plus the simplest
+implementations; the LFSR, low-discrepancy and ramp sources used in the
+paper's comparison live in sibling modules.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "NumberSource",
+    "PseudoRandomSource",
+    "CounterSource",
+    "ConstantSource",
+]
+
+
+class NumberSource(abc.ABC):
+    """A sequence of numbers in ``[0, 1)`` driving an SNG comparator.
+
+    Sources are deterministic state machines: :meth:`sequence` must return
+    the same values for the same ``length`` every time unless :meth:`reset`
+    changes the internal seed/state.  This determinism is what lets the
+    library reproduce the paper's exhaustive MSE sweeps exactly.
+    """
+
+    #: Number of resolution bits of the source (``None`` for real-valued sources).
+    resolution_bits: Optional[int] = None
+
+    @abc.abstractmethod
+    def sequence(self, length: int) -> np.ndarray:
+        """Return the first ``length`` source values as floats in ``[0, 1)``."""
+
+    def reset(self) -> None:
+        """Restore the source to its initial state (default: stateless no-op)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class PseudoRandomSource(NumberSource):
+    """An idealized random source backed by numpy's PCG64 generator.
+
+    This models the "random bit-stream" rows of Table 2: a source with good
+    statistical behaviour but no low-discrepancy structure, so its SNG output
+    exhibits the usual ``O(1/sqrt(N))`` stochastic fluctuation.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+
+    def sequence(self, length: int) -> np.ndarray:
+        rng = np.random.default_rng(self._seed)
+        return rng.random(length)
+
+    def reset(self) -> None:
+        # the sequence is regenerated from the stored seed on every call,
+        # so there is no mutable state to restore
+        return None
+
+    def __repr__(self) -> str:
+        return f"PseudoRandomSource(seed={self._seed})"
+
+
+class CounterSource(NumberSource):
+    """A simple up-counter source producing ``k / 2**bits`` for ``k = 0, 1, ...``.
+
+    Counter-driven SNGs produce perfectly uniform but strongly auto-correlated
+    streams (all the ones bunched together once compared against a constant),
+    the same structural property as the ramp-compare converter.  It is used as
+    a cheap deterministic weight generator in several ablations.
+    """
+
+    def __init__(self, bits: int, phase: int = 0) -> None:
+        if bits < 1:
+            raise ValueError("bits must be >= 1")
+        self.resolution_bits = int(bits)
+        self._phase = int(phase) % (1 << bits)
+
+    def sequence(self, length: int) -> np.ndarray:
+        n = 1 << self.resolution_bits
+        k = (np.arange(length, dtype=np.int64) + self._phase) % n
+        return k.astype(np.float64) / n
+
+    def __repr__(self) -> str:
+        return f"CounterSource(bits={self.resolution_bits}, phase={self._phase})"
+
+
+class ConstantSource(NumberSource):
+    """A source that always emits the same value; useful for testing SNG logic."""
+
+    def __init__(self, value: float) -> None:
+        if not 0.0 <= value < 1.0:
+            raise ValueError(f"value must lie in [0, 1), got {value}")
+        self._value = float(value)
+
+    def sequence(self, length: int) -> np.ndarray:
+        return np.full(length, self._value, dtype=np.float64)
+
+    def __repr__(self) -> str:
+        return f"ConstantSource(value={self._value})"

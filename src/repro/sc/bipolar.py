@@ -1,0 +1,142 @@
+"""The bipolar stochastic dot product -- the design alternative the paper rejects.
+
+Section IV-B explains why the hybrid design does *not* use bipolar stochastic
+arithmetic even though the weights are signed: in the bipolar encoding the
+sign-activation decision point maps to bit-streams of unipolar density 0.5,
+which is exactly where stochastic fluctuation (and switching activity) is
+maximal, so accuracy and power both suffer.  The paper's solution is the
+positive/negative weight split implemented by
+:class:`~repro.sc.dotproduct.StochasticDotProductEngine`.
+
+This module implements the rejected alternative so the claim can be measured:
+:class:`BipolarDotProductEngine` evaluates ``x . w`` with XNOR multipliers and
+a scaled adder tree entirely in the bipolar domain.  The ablation benchmark
+``benchmarks/test_ablation_bipolar.py`` compares the two designs' accuracy
+near the decision point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..bitstream import bipolar_to_unipolar
+from ..rng import ComparatorSNG, SobolSource, VanDerCorputSource
+from .elements.adders import AdderTree, MuxAdder, TffAdder
+from .elements.converters import count_ones
+from .elements.multipliers import xnor_multiply
+from .dotproduct import stream_length
+
+__all__ = ["BipolarDotProductResult", "BipolarDotProductEngine"]
+
+
+@dataclass
+class BipolarDotProductResult:
+    """Outputs of one batch of bipolar stochastic dot products."""
+
+    #: Ones-count of the adder-tree output stream.
+    count: np.ndarray
+    #: Stream length used.
+    length: int
+    #: Scale factor 2**depth of the adder tree.
+    tree_scale: int
+
+    @property
+    def value(self) -> np.ndarray:
+        """The reconstructed dot-product value ``x . w``."""
+        bipolar = 2.0 * self.count.astype(np.float64) / self.length - 1.0
+        return bipolar * self.tree_scale
+
+    @property
+    def sign(self) -> np.ndarray:
+        """Sign activation: compare the counter against the mid-scale N/2."""
+        return np.sign(self.count.astype(np.int64) * 2 - self.length).astype(np.int8)
+
+
+@dataclass
+class BipolarDotProductEngine:
+    """Fully bipolar stochastic dot-product engine (XNOR multipliers).
+
+    Parameters
+    ----------
+    precision:
+        Binary precision in bits (stream length ``2**precision``).
+    adder:
+        ``"tff"`` or ``"mux"`` scaled adders for the reduction tree.
+    seed:
+        Seed for LFSR/MUX-select sources.
+    """
+
+    precision: int = 8
+    adder: str = "tff"
+    seed: int = 1
+    _mux_seed_counter: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.precision < 2:
+            raise ValueError("precision must be at least 2 bits")
+        if self.adder not in ("tff", "mux"):
+            raise ValueError(f"unknown adder {self.adder!r}")
+
+    @property
+    def length(self) -> int:
+        """Bit-stream length ``2**precision``."""
+        return stream_length(self.precision)
+
+    def _adder_factory(self) -> Callable[[], object]:
+        if self.adder == "tff":
+            return TffAdder
+
+        def make_mux() -> MuxAdder:
+            self._mux_seed_counter += 1
+            return MuxAdder(seed=self.seed * 777 + self._mux_seed_counter)
+
+        return make_mux
+
+    def input_streams(self, values: np.ndarray) -> np.ndarray:
+        """Encode inputs (in ``[-1, 1]``; image pixels use ``[0, 1]``) as bipolar streams."""
+        values = np.asarray(values, dtype=np.float64)
+        probabilities = bipolar_to_unipolar(np.clip(values, -1.0, 1.0))
+        sng = ComparatorSNG(VanDerCorputSource(self.precision))
+        return sng.generate_bits(probabilities, self.length)
+
+    def weight_streams(self, weights: np.ndarray) -> np.ndarray:
+        """Encode signed weights as bipolar streams (one stream per tap)."""
+        weights = np.asarray(weights, dtype=np.float64)
+        if np.any(np.abs(weights) > 1.0 + 1e-9):
+            raise ValueError("weights must lie in [-1, 1]")
+        probabilities = bipolar_to_unipolar(weights)
+        sng = ComparatorSNG(SobolSource(self.precision, dimension=1))
+        return sng.generate_bits(probabilities, self.length)
+
+    def dot(self, x: np.ndarray, weights: np.ndarray) -> BipolarDotProductResult:
+        """Compute ``x . w`` for inputs ``x`` (shape ``(..., k)``) and weights ``(k,)``."""
+        x = np.asarray(x, dtype=np.float64)
+        weights = np.asarray(weights, dtype=np.float64)
+        if x.shape[-1] != weights.shape[-1]:
+            raise ValueError(
+                f"tap count mismatch: inputs have {x.shape[-1]}, "
+                f"weights have {weights.shape[-1]}"
+            )
+        x_bits = self.input_streams(x)
+        w_bits = self.weight_streams(weights)
+        products = np.asarray(xnor_multiply(x_bits, w_bits))
+
+        # Pad the tap axis to a power of two with bipolar-zero (density 0.5)
+        # streams: an all-zeros pad would encode -1 and bias the sum.
+        taps = x.shape[-1]
+        tree = AdderTree(self._adder_factory())
+        depth = tree.depth(taps)
+        padded_taps = 1 << depth
+        if padded_taps != taps:
+            pad_shape = products.shape[:-2] + (padded_taps - taps, self.length)
+            zero_value = np.zeros(pad_shape, dtype=np.uint8)
+            zero_value[..., ::2] = 1  # alternating 0101... -> density exactly 0.5
+            products = np.concatenate([products, zero_value], axis=-2)
+
+        summed = tree.reduce(products)
+        return BipolarDotProductResult(
+            count=count_ones(summed), length=self.length, tree_scale=1 << depth
+        )

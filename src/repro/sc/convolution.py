@@ -1,0 +1,163 @@
+"""The stochastic convolution layer (784 parallel dot-product engines, Fig. 3).
+
+The hybrid first layer of the paper is a convolutional layer evaluated
+entirely in the stochastic domain: every output position has a dedicated
+stochastic dot-product engine, the 32 kernels are applied sequentially, and
+each engine's output is the sign activation computed from two counters.
+
+:class:`StochasticConv2D` drives a :class:`~repro.sc.dotproduct.StochasticDotProductEngine`
+over a batch of images.  Inputs are pixel values in ``[0, 1]`` (as produced by
+the simulated sensor front end) and kernels are signed weights in ``[-1, 1]``
+(after weight scaling).  Outputs follow the ``(batch, filters, H, W)`` layout
+of the binary :class:`repro.nn.layers.Conv2D` so the two can be swapped
+freely inside a network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..utils.windows import conv_output_size, extract_patches, patches_to_map
+from .dotproduct import StochasticDotProductEngine, new_sc_engine
+
+__all__ = ["StochasticConvResult", "StochasticConv2D"]
+
+
+@dataclass
+class StochasticConvResult:
+    """All outputs of one stochastic convolution pass."""
+
+    #: Sign activations, shape ``(batch, filters, out_h, out_w)``, values -1/0/+1.
+    sign: np.ndarray
+    #: Reconstructed dot-product values (same shape) -- used for analysis and
+    #: for validating the fast emulation mode; a real sensor node would not
+    #: compute these.
+    value: np.ndarray
+    #: Positive- and negative-path counter outputs (same shape).
+    positive_count: np.ndarray
+    negative_count: np.ndarray
+
+
+class StochasticConv2D:
+    """Convolution evaluated with stochastic dot-product engines.
+
+    Parameters
+    ----------
+    kernels:
+        Signed kernel weights of shape ``(filters, kh, kw)`` with values in
+        ``[-1, 1]``.
+    engine:
+        The dot-product engine configuration; defaults to the paper's
+        proposed design at 8-bit precision.
+    padding / stride:
+        Convolution geometry.  The paper's Fig. 3 uses "same" padding so that
+        a 28x28 image produces 784 output positions; pass
+        ``padding=kernel//2`` for that arrangement.
+    soft_threshold:
+        If non-zero, dot products whose magnitude (in counter LSBs) is below
+        ``soft_threshold * N`` are forced to zero before the sign activation.
+        This is the error-mitigation trick of Kim et al. adopted in
+        Section V-B for near-zero values.
+    """
+
+    def __init__(
+        self,
+        kernels: np.ndarray,
+        engine: Optional[StochasticDotProductEngine] = None,
+        padding: int = 0,
+        stride: int = 1,
+        soft_threshold: float = 0.0,
+    ) -> None:
+        kernels = np.asarray(kernels, dtype=np.float64)
+        if kernels.ndim != 3:
+            raise ValueError(
+                f"kernels must have shape (filters, kh, kw), got {kernels.shape}"
+            )
+        if np.any(np.abs(kernels) > 1.0 + 1e-9):
+            raise ValueError("kernel weights must lie in [-1, 1]")
+        if soft_threshold < 0:
+            raise ValueError("soft_threshold must be non-negative")
+        self.kernels = kernels
+        self.engine = engine if engine is not None else new_sc_engine(precision=8)
+        self.padding = int(padding)
+        self.stride = int(stride)
+        self.soft_threshold = float(soft_threshold)
+
+    @property
+    def filters(self) -> int:
+        """Number of convolution kernels."""
+        return self.kernels.shape[0]
+
+    @property
+    def kernel_size(self) -> tuple[int, int]:
+        """Spatial kernel size ``(kh, kw)``."""
+        return self.kernels.shape[1], self.kernels.shape[2]
+
+    def output_shape(self, image_shape: tuple[int, int]) -> tuple[int, int]:
+        """Spatial output shape for a given input image shape."""
+        kh, kw = self.kernel_size
+        return (
+            conv_output_size(image_shape[0], kh, self.stride, self.padding),
+            conv_output_size(image_shape[1], kw, self.stride, self.padding),
+        )
+
+    def forward(self, images: np.ndarray) -> StochasticConvResult:
+        """Run the stochastic convolution over a batch of images.
+
+        Parameters
+        ----------
+        images:
+            Array of shape ``(batch, H, W)`` with pixel values in ``[0, 1]``.
+        """
+        images = np.asarray(images, dtype=np.float64)
+        if images.ndim != 3:
+            raise ValueError(f"expected (batch, H, W) images, got {images.shape}")
+        if images.min() < -1e-9 or images.max() > 1.0 + 1e-9:
+            raise ValueError("pixel values must lie in [0, 1]")
+
+        kh, kw = self.kernel_size
+        out_h, out_w = self.output_shape(images.shape[1:])
+        patches = extract_patches(images, (kh, kw), self.stride, self.padding)
+        batch, n_patches, taps = patches.shape
+
+        # Generate the input bit-streams once; they are shared by all kernels,
+        # exactly as the sensor-side converters are shared in hardware.
+        x_bits = self.engine.input_streams(patches)
+
+        pos = np.empty((batch, n_patches, self.filters), dtype=np.int64)
+        neg = np.empty_like(pos)
+        flat_kernels = self.kernels.reshape(self.filters, taps)
+        for f in range(self.filters):
+            w_pos_bits, w_neg_bits = self.engine.weight_streams(flat_kernels[f])
+            result = self.engine.dot_from_streams(x_bits, w_pos_bits, w_neg_bits)
+            pos[:, :, f] = result.positive_count
+            neg[:, :, f] = result.negative_count
+
+        length = self.engine.length
+        tree_scale = result.tree_scale
+        value = (pos - neg).astype(np.float64) / length * tree_scale
+        sign = np.sign(pos - neg).astype(np.int8)
+        if self.soft_threshold > 0.0:
+            below = np.abs(pos - neg) < self.soft_threshold * length
+            sign = np.where(below, 0, sign).astype(np.int8)
+            value = np.where(below, 0.0, value)
+
+        return StochasticConvResult(
+            sign=patches_to_map(sign.astype(np.float64), (out_h, out_w)).astype(np.int8),
+            value=patches_to_map(value, (out_h, out_w)),
+            positive_count=patches_to_map(pos.astype(np.float64), (out_h, out_w)).astype(
+                np.int64
+            ),
+            negative_count=patches_to_map(neg.astype(np.float64), (out_h, out_w)).astype(
+                np.int64
+            ),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"StochasticConv2D(filters={self.filters}, kernel={self.kernel_size}, "
+            f"padding={self.padding}, stride={self.stride}, engine={self.engine!r})"
+        )

@@ -1,0 +1,268 @@
+"""The stochastic dot-product engine (paper Fig. 3, middle).
+
+Each convolution engine of the hybrid first layer computes
+
+    g(x, w) = sign(x . w)
+
+entirely in the stochastic domain, with the trick described in Section IV-B:
+instead of using bipolar arithmetic (whose decision point sits at the
+maximum-fluctuation density 0.5), the weights are split into positive and
+negative magnitude vectors and *two unipolar* dot products are evaluated:
+
+    g_pos = x . w_pos        g_neg = x . w_neg
+
+Each dot product is an AND-multiplier per tap followed by a balanced tree of
+scaled adders; two counters convert the results to binary and a binary
+comparator implements the sign activation.
+
+This module provides both the raw bit-level kernel
+(:func:`stochastic_dot_product`) that operates on pre-generated bit arrays,
+and :class:`StochasticDotProductEngine`, which owns the number-generation
+configuration (the knob that distinguishes "this work" from the "old SC"
+baseline in Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Tuple
+
+import numpy as np
+
+from ..bitstream import stream_length
+from ..rng import ComparatorSNG, LFSRSource, VanDerCorputSource, ramp_compare_batch
+from .elements.adders import AdderTree, MuxAdder, OrAdder, TffAdder
+from .elements.converters import count_ones, sign_from_counts
+from .elements.util import as_bits
+
+__all__ = [
+    "split_weights",
+    "stochastic_dot_product",
+    "DotProductResult",
+    "StochasticDotProductEngine",
+    "new_sc_engine",
+    "old_sc_engine",
+]
+
+
+def split_weights(weights: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Split signed weights into positive and negative unipolar magnitudes.
+
+    Returns ``(w_pos, w_neg)`` with ``weights = w_pos - w_neg`` and both parts
+    in ``[0, 1]`` (weights are expected to be pre-scaled into ``[-1, 1]``; see
+    :func:`repro.nn.quantization.scale_kernel`).
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    if np.any(np.abs(w) > 1.0 + 1e-9):
+        raise ValueError("weights must lie in [-1, 1]; apply weight scaling first")
+    w_pos = np.clip(w, 0.0, 1.0)
+    w_neg = np.clip(-w, 0.0, 1.0)
+    return w_pos, w_neg
+
+
+def stochastic_dot_product(
+    x_bits: np.ndarray,
+    w_bits: np.ndarray,
+    adder_factory: Callable[[], object] = TffAdder,
+) -> np.ndarray:
+    """Bit-level unipolar dot product of input streams with weight streams.
+
+    Parameters
+    ----------
+    x_bits:
+        Input bit array of shape ``(..., k, N)``.
+    w_bits:
+        Weight bit array broadcastable to ``x_bits`` (typically ``(k, N)``).
+    adder_factory:
+        Factory for the two-input scaled adder used at every tree node.
+
+    Returns
+    -------
+    counts:
+        Ones-count of the tree output, shape ``(...,)``.  The encoded value is
+        ``counts / N * 2**depth`` where ``depth = ceil(log2 k)``.
+    """
+    x_arr, _ = as_bits(x_bits)
+    w_arr, _ = as_bits(w_bits)
+    products = (x_arr & w_arr).astype(np.uint8)
+    tree = AdderTree(adder_factory)
+    summed = tree.reduce(products)
+    return count_ones(summed)
+
+
+@dataclass
+class DotProductResult:
+    """Outputs of one batch of stochastic dot products."""
+
+    #: Ones-count of the positive-weight tree output.
+    positive_count: np.ndarray
+    #: Ones-count of the negative-weight tree output.
+    negative_count: np.ndarray
+    #: Stream length used.
+    length: int
+    #: Scale factor 2**depth of the adder tree.
+    tree_scale: int
+
+    @property
+    def sign(self) -> np.ndarray:
+        """The sign activation ``sign(x . w)`` (-1, 0 or +1)."""
+        return sign_from_counts(self.positive_count, self.negative_count)
+
+    @property
+    def value(self) -> np.ndarray:
+        """The reconstructed (scaled-back) dot-product value ``x . w``."""
+        diff = self.positive_count.astype(np.float64) - self.negative_count
+        return diff / self.length * self.tree_scale
+
+
+@dataclass
+class StochasticDotProductEngine:
+    """A configurable stochastic dot-product engine.
+
+    Parameters
+    ----------
+    precision:
+        Binary precision in bits; the bit-stream length is ``2**precision``.
+    adder:
+        ``"tff"`` (this work), ``"mux"`` (conventional) or ``"or"``.
+    input_generator:
+        ``"ramp"`` -- ramp-compare analog-to-stochastic conversion (this work),
+        ``"lfsr"`` -- conventional comparator SNG with an LFSR,
+        ``"lowdisc"`` -- comparator SNG with a van der Corput source.
+    weight_generator:
+        ``"lowdisc"`` (this work) or ``"lfsr"`` (old designs).
+    seed:
+        Seed for LFSR-based and MUX-select sources.
+    """
+
+    precision: int = 8
+    adder: str = "tff"
+    input_generator: str = "ramp"
+    weight_generator: str = "lowdisc"
+    seed: int = 1
+    _mux_seed_counter: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.precision < 2:
+            raise ValueError("precision must be at least 2 bits")
+        if self.adder not in ("tff", "mux", "or"):
+            raise ValueError(f"unknown adder {self.adder!r}")
+        if self.input_generator not in ("ramp", "lfsr", "lowdisc"):
+            raise ValueError(f"unknown input generator {self.input_generator!r}")
+        if self.weight_generator not in ("lowdisc", "lfsr"):
+            raise ValueError(f"unknown weight generator {self.weight_generator!r}")
+
+    # ------------------------------------------------------------------ #
+    # stream generation
+    # ------------------------------------------------------------------ #
+    @property
+    def length(self) -> int:
+        """Bit-stream length ``2**precision``."""
+        return stream_length(self.precision)
+
+    def input_streams(self, values: np.ndarray) -> np.ndarray:
+        """Convert unipolar input values (shape ``(...,)``) to bit arrays ``(..., N)``."""
+        values = np.asarray(values, dtype=np.float64)
+        if self.input_generator == "ramp":
+            return ramp_compare_batch(values, self.length)
+        if self.input_generator == "lfsr":
+            sng = ComparatorSNG(LFSRSource(self.precision, seed=self.seed))
+        else:
+            sng = ComparatorSNG(VanDerCorputSource(self.precision))
+        return sng.generate_bits(values, self.length)
+
+    def weight_streams(self, weights: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Generate positive and negative weight bit arrays (shape ``w.shape + (N,)``)."""
+        w_pos, w_neg = split_weights(weights)
+        if self.weight_generator == "lowdisc":
+            sng = ComparatorSNG(VanDerCorputSource(self.precision))
+        else:
+            sng = ComparatorSNG(
+                LFSRSource(self.precision, seed=(self.seed * 3 + 1) % 255 or 1)
+            )
+        return sng.generate_bits(w_pos, self.length), sng.generate_bits(
+            w_neg, self.length
+        )
+
+    def _adder_factory(self) -> Callable[[], object]:
+        if self.adder == "tff":
+            return TffAdder
+        if self.adder == "or":
+            return OrAdder
+
+        def make_mux() -> MuxAdder:
+            # Give every tree node its own select source so node outputs stay
+            # mutually uncorrelated, mirroring independent hardware LFSRs.
+            self._mux_seed_counter += 1
+            return MuxAdder(seed=self.seed * 1000 + self._mux_seed_counter)
+
+        return make_mux
+
+    # ------------------------------------------------------------------ #
+    # computation
+    # ------------------------------------------------------------------ #
+    def dot(self, x: np.ndarray, weights: np.ndarray) -> DotProductResult:
+        """Compute ``x . w`` for inputs ``x`` in ``[0, 1]`` and weights in ``[-1, 1]``.
+
+        ``x`` has shape ``(..., k)`` and ``weights`` shape ``(k,)``; the result
+        arrays have shape ``(...,)``.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        weights = np.asarray(weights, dtype=np.float64)
+        if x.shape[-1] != weights.shape[-1]:
+            raise ValueError(
+                f"tap count mismatch: inputs have {x.shape[-1]}, "
+                f"weights have {weights.shape[-1]}"
+            )
+        x_bits = self.input_streams(x)
+        w_pos_bits, w_neg_bits = self.weight_streams(weights)
+        return self.dot_from_streams(x_bits, w_pos_bits, w_neg_bits)
+
+    def dot_from_streams(
+        self,
+        x_bits: np.ndarray,
+        w_pos_bits: np.ndarray,
+        w_neg_bits: np.ndarray,
+    ) -> DotProductResult:
+        """Compute the dot product from pre-generated bit arrays.
+
+        This is the path used by the convolution driver, which generates the
+        input streams once per image and reuses them for all 32 kernels.
+        """
+        factory = self._adder_factory()
+        pos = stochastic_dot_product(x_bits, w_pos_bits, factory)
+        neg = stochastic_dot_product(x_bits, w_neg_bits, factory)
+        taps = x_bits.shape[-2]
+        tree_scale = 1 << AdderTree().depth(taps)
+        return DotProductResult(
+            positive_count=pos,
+            negative_count=neg,
+            length=self.length,
+            tree_scale=tree_scale,
+        )
+
+
+def new_sc_engine(precision: int, seed: int = 1) -> StochasticDotProductEngine:
+    """The paper's proposed configuration: TFF adder, ramp input, low-discrepancy weights."""
+    return StochasticDotProductEngine(
+        precision=precision,
+        adder="tff",
+        input_generator="ramp",
+        weight_generator="lowdisc",
+        seed=seed,
+    )
+
+
+def old_sc_engine(precision: int, seed: int = 1) -> StochasticDotProductEngine:
+    """The conventional configuration used as the "Old SC" baseline in Table 3.
+
+    MUX adders driven by pseudo-random select streams and LFSR-based SNGs for
+    both inputs and weights, matching the Fig. 1 primitives of prior work.
+    """
+    return StochasticDotProductEngine(
+        precision=precision,
+        adder="mux",
+        input_generator="lfsr",
+        weight_generator="lfsr",
+        seed=seed,
+    )

@@ -1,0 +1,269 @@
+"""Stochastic adders: the conventional MUX adder, the OR adder and the paper's
+new TFF-based adder.
+
+All stochastic adders compute the *scaled* sum ``(p_x + p_y) / 2`` so the
+result stays inside the unit interval.  They differ in where their error
+comes from:
+
+* :class:`MuxAdder` (Fig. 1b) randomly discards half of the input bits via a
+  multiplexer whose select input is a 0.5-valued stream; it therefore needs an
+  extra number source and exhibits sampling error even for exactly
+  representable results.
+* :class:`OrAdder` approximates ``p_x + p_y`` by a single OR gate, which is
+  only accurate when both inputs are near zero.
+* :class:`TffAdder` (Fig. 2b, the paper's contribution) stores the
+  "carry" information of disagreeing input bits in a toggle flip-flop and
+  releases it on the next disagreement.  Its output ones-count is *exactly*
+  ``round((ones_x + ones_y) / 2)``, with the rounding direction chosen by the
+  flip-flop's initial state -- no extra random source, no sensitivity to
+  input correlation or auto-correlation.
+
+:class:`AdderTree` builds balanced trees of any of these two-input adders, the
+structure used by the stochastic dot-product engine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ...rng.sources import NumberSource, PseudoRandomSource
+from .flipflops import toggle_states
+from .util import StreamLike, as_bits, check_same_length, wrap_like
+
+__all__ = [
+    "StochasticAdder",
+    "MuxAdder",
+    "OrAdder",
+    "TffAdder",
+    "AdderTree",
+    "tff_add",
+    "mux_add",
+    "or_add",
+]
+
+
+def tff_add(
+    x: StreamLike, y: StreamLike, initial_state: int = 0
+) -> StreamLike:
+    """The paper's TFF-based scaled addition ``(p_x + p_y) / 2`` (Fig. 2b).
+
+    At each cycle, equal input bits propagate directly to the output; when the
+    inputs disagree the current flip-flop state is emitted and the flip-flop
+    toggles.  The output ones-count is exactly ``(ones_x + ones_y) / 2``
+    rounded down (``initial_state=0``) or up (``initial_state=1``).
+    """
+    xb, _ = as_bits(x)
+    yb, _ = as_bits(y)
+    check_same_length(xb, yb)
+    disagree = (xb ^ yb).astype(np.uint8)
+    state = toggle_states(disagree, initial_state)
+    out = np.where(disagree == 1, state, xb).astype(np.uint8)
+    return wrap_like(out, x)
+
+
+def mux_add(
+    x: StreamLike, y: StreamLike, select: StreamLike
+) -> StreamLike:
+    """The conventional multiplexer-based scaled adder (Fig. 1b).
+
+    ``select`` must be a bit-stream of unipolar value 0.5 that is uncorrelated
+    with both data inputs; bits of ``y`` are taken where ``select`` is 1 and
+    bits of ``x`` elsewhere.
+    """
+    xb, _ = as_bits(x)
+    yb, _ = as_bits(y)
+    sb, _ = as_bits(select)
+    check_same_length(xb, yb, sb)
+    out = np.where(sb == 1, yb, xb).astype(np.uint8)
+    return wrap_like(out, x)
+
+
+def or_add(x: StreamLike, y: StreamLike) -> StreamLike:
+    """The OR-gate approximate adder: accurate only for inputs near zero."""
+    xb, _ = as_bits(x)
+    yb, _ = as_bits(y)
+    check_same_length(xb, yb)
+    return wrap_like((xb | yb).astype(np.uint8), x)
+
+
+class StochasticAdder:
+    """Common interface of all two-input scaled stochastic adders."""
+
+    #: True if the adder needs an auxiliary 0.5-valued select stream.
+    needs_select = False
+
+    #: Approximate complexity in two-input gate equivalents (hardware model).
+    gate_count = 1
+
+    def __call__(self, x: StreamLike, y: StreamLike) -> StreamLike:
+        raise NotImplementedError
+
+    def expected(self, px: float, py: float) -> float:
+        """Ideal scaled-sum output value for unipolar inputs."""
+        return 0.5 * (float(px) + float(py))
+
+
+class TffAdder(StochasticAdder):
+    """The paper's TFF-based adder (Fig. 2b).
+
+    Parameters
+    ----------
+    initial_state:
+        Initial flip-flop value; selects the rounding direction when the exact
+        scaled sum is not representable at the stream length (Fig. 2c).
+    """
+
+    # MUX2 + TFF + XOR for the disagree detection: ~4 gate equivalents.
+    gate_count = 4
+
+    def __init__(self, initial_state: int = 0) -> None:
+        if initial_state not in (0, 1):
+            raise ValueError("initial_state must be 0 or 1")
+        self.initial_state = int(initial_state)
+
+    def __call__(self, x: StreamLike, y: StreamLike) -> StreamLike:
+        return tff_add(x, y, initial_state=self.initial_state)
+
+    def __repr__(self) -> str:
+        return f"TffAdder(initial_state={self.initial_state})"
+
+
+class OrAdder(StochasticAdder):
+    """OR-gate approximate adder (no scaling, saturating)."""
+
+    gate_count = 1
+
+    def __call__(self, x: StreamLike, y: StreamLike) -> StreamLike:
+        return or_add(x, y)
+
+    def expected(self, px: float, py: float) -> float:
+        """The OR adder targets the *unscaled* sum, saturating at 1."""
+        return min(1.0, float(px) + float(py))
+
+    def __repr__(self) -> str:
+        return "OrAdder()"
+
+
+class MuxAdder(StochasticAdder):
+    """The conventional multiplexer adder with a configurable select source.
+
+    Parameters
+    ----------
+    select_source:
+        Number source whose comparison against 0.5 produces the select stream
+        (Table 2 evaluates LFSR- and random-driven variants).  Ignored when
+        ``toggle_select`` is true.
+    toggle_select:
+        Use a deterministic 0101... select stream produced by a free-running
+        TFF (the "+ TFF" select configurations in Table 2).
+    seed:
+        Seed of the default pseudo-random select source.
+    """
+
+    needs_select = True
+    # MUX2 plus the select generator's comparator share; the dominant cost is
+    # the extra number source, accounted separately by the hardware model.
+    gate_count = 3
+
+    def __init__(
+        self,
+        select_source: Optional[NumberSource] = None,
+        toggle_select: bool = False,
+        seed: int = 12345,
+    ) -> None:
+        self.toggle_select = bool(toggle_select)
+        if select_source is None and not toggle_select:
+            select_source = PseudoRandomSource(seed=seed)
+        self.select_source = select_source
+
+    def select_bits(self, length: int) -> np.ndarray:
+        """Generate the 0.5-valued select stream for ``length`` cycles."""
+        if self.toggle_select:
+            return (np.arange(length, dtype=np.int64) & 1).astype(np.uint8)
+        reference = self.select_source.sequence(length)
+        return (reference < 0.5).astype(np.uint8)
+
+    def __call__(self, x: StreamLike, y: StreamLike) -> StreamLike:
+        xb, _ = as_bits(x)
+        yb, _ = as_bits(y)
+        length = check_same_length(xb, yb)
+        return mux_add(x, y, self.select_bits(length))
+
+    def __repr__(self) -> str:
+        if self.toggle_select:
+            return "MuxAdder(toggle_select=True)"
+        return f"MuxAdder(select_source={self.select_source!r})"
+
+
+class AdderTree:
+    """A balanced binary tree of two-input scaled adders.
+
+    Summing ``k`` streams through a depth-``ceil(log2 k)`` tree produces the
+    scaled sum ``sum(p_i) / 2**depth``.  For the TFF adder the result is exact
+    up to one LSB *per adder*, so the tree error stays bounded by
+    ``depth / N`` instead of compounding statistically as it does for MUX
+    adders.  Missing leaves (when ``k`` is not a power of two) are filled with
+    all-zero streams, exactly like the padded hardware tree.
+
+    Parameters
+    ----------
+    adder_factory:
+        Callable returning a fresh two-input adder for each tree node
+        (a fresh node per position keeps MUX select sources independent and
+        lets TFF initial states alternate if desired).
+    """
+
+    def __init__(self, adder_factory=TffAdder) -> None:
+        self.adder_factory = adder_factory
+
+    def depth(self, count: int) -> int:
+        """Number of adder levels needed for ``count`` inputs."""
+        if count < 1:
+            raise ValueError("need at least one input")
+        depth = 0
+        while (1 << depth) < count:
+            depth += 1
+        return depth
+
+    def scale_factor(self, count: int) -> float:
+        """The overall scaling ``2**-depth`` applied to the sum."""
+        return 0.5 ** self.depth(count)
+
+    def reduce(self, streams: Sequence[StreamLike] | np.ndarray) -> StreamLike:
+        """Reduce a list of streams (or an array stacked on axis -2) to one stream."""
+        if isinstance(streams, np.ndarray):
+            if streams.ndim < 2 or streams.shape[-2] == 0:
+                raise ValueError("stacked input must have shape (..., k, N) with k >= 1")
+            stream_list: List[np.ndarray] = [
+                streams[..., i, :] for i in range(streams.shape[-2])
+            ]
+            template: StreamLike = streams[..., 0, :]
+        else:
+            if len(streams) == 0:
+                raise ValueError("need at least one input stream")
+            stream_list = [as_bits(s)[0] for s in streams]
+            template = streams[0]
+        length = check_same_length(*stream_list)
+
+        level = stream_list
+        while len(level) > 1:
+            if len(level) % 2 == 1:
+                level = level + [np.zeros_like(level[0])]
+            next_level = []
+            for i in range(0, len(level), 2):
+                adder = self.adder_factory()
+                result = adder(level[i], level[i + 1])
+                bits, _ = as_bits(result)
+                next_level.append(bits)
+            level = next_level
+        del length
+        return wrap_like(level[0], template)
+
+    def expected(self, values: Sequence[float]) -> float:
+        """Ideal output of the tree for unipolar input values."""
+        return float(np.sum(values)) * self.scale_factor(len(values))
+
+    def __repr__(self) -> str:
+        return f"AdderTree(adder_factory={self.adder_factory!r})"

@@ -1,0 +1,152 @@
+"""Stochastic-to-binary converters (counters) and the sign-activation comparator.
+
+Leaving the stochastic domain is done by counting ones (Fig. 1d of the
+paper): after ``N`` cycles the counter holds the integer numerator of the
+stream's value.  The paper distinguishes two hardware flavours:
+
+* **synchronous counters** -- conventional counters whose whole register must
+  settle between clock edges; their long carry chain limits the clock rate of
+  the stochastic core feeding them.
+* **asynchronous (ripple) counters** -- each stage is clocked by the previous
+  stage's output, so a new input pulse can be accepted before earlier pulses
+  have rippled through; this lets the stochastic core run at full speed.
+
+Functionally both produce the same count; the distinction matters only to the
+hardware timing/energy model, so both classes expose identical behavioural
+interfaces plus the metadata the :mod:`repro.hw` model consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .util import StreamLike, as_bits
+
+__all__ = [
+    "count_ones",
+    "stochastic_to_binary",
+    "BinaryCounter",
+    "AsynchronousCounter",
+    "SynchronousCounter",
+    "sign_from_counts",
+]
+
+
+def count_ones(stream: StreamLike) -> np.ndarray:
+    """Count the ones of each stream along the last axis (vectorized)."""
+    bits, _ = as_bits(stream)
+    return bits.sum(axis=-1, dtype=np.int64)
+
+
+def stochastic_to_binary(stream: StreamLike, encoding: str = "unipolar") -> np.ndarray:
+    """Convert stream(s) to the binary value they encode.
+
+    Returns floats: ``ones / N`` for unipolar and ``2 * ones / N - 1`` for
+    bipolar streams.
+    """
+    bits, _ = as_bits(stream)
+    n = bits.shape[-1]
+    p = count_ones(bits) / float(n)
+    if encoding == "unipolar":
+        return p
+    if encoding == "bipolar":
+        return 2.0 * p - 1.0
+    raise ValueError(f"unknown encoding {encoding!r}")
+
+
+class BinaryCounter:
+    """Behavioural model of an up-counter used as stochastic-to-binary converter.
+
+    Parameters
+    ----------
+    bits:
+        Register width; the count saturates at ``2**bits - 1`` (a real counter
+        would wrap, but in the paper's datapath the stream length never
+        exceeds the counter range, so saturation only guards misuse).
+    """
+
+    #: Identifier used by the hardware model ("sync" or "async").
+    style = "generic"
+
+    def __init__(self, bits: int) -> None:
+        if bits < 1:
+            raise ValueError("counter needs at least 1 bit")
+        self.bits = int(bits)
+        self.max_count = (1 << self.bits) - 1
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Current register value."""
+        return self._count
+
+    def reset(self) -> None:
+        """Clear the counter."""
+        self._count = 0
+
+    def step(self, bit: int) -> int:
+        """Apply one stream bit and return the updated count."""
+        if bit:
+            self._count = min(self._count + 1, self.max_count)
+        return self._count
+
+    def run(self, stream: StreamLike) -> int:
+        """Count the ones of a single stream (resets first)."""
+        bits, _ = as_bits(stream)
+        if bits.ndim != 1:
+            raise ValueError(
+                "BinaryCounter.run expects a single stream; "
+                "use count_ones() for batched conversion"
+            )
+        self.reset()
+        total = int(bits.sum())
+        self._count = min(total, self.max_count)
+        return self._count
+
+
+class AsynchronousCounter(BinaryCounter):
+    """Ripple counter: stages clock each other, so the SC core can run fast.
+
+    The behavioural count is identical to :class:`BinaryCounter`; the class
+    carries the timing metadata used by :mod:`repro.hw` (the maximum input
+    rate is set by a single flip-flop delay rather than the full carry chain).
+    """
+
+    style = "async"
+
+    #: Critical path seen by the stochastic core, in flip-flop delays.
+    input_stage_delay_ff = 1
+
+
+class SynchronousCounter(BinaryCounter):
+    """Synchronous counter: the whole register must settle every cycle.
+
+    Its carry chain of ``bits`` stages throttles the stochastic core clock,
+    which is why the paper chooses asynchronous counters (Section II-A).
+    """
+
+    style = "sync"
+
+    @property
+    def input_stage_delay_ff(self) -> int:
+        """Critical path in flip-flop-delay equivalents (grows with width)."""
+        return self.bits
+
+
+def sign_from_counts(
+    positive_count: np.ndarray, negative_count: np.ndarray
+) -> np.ndarray:
+    """The binary sign-activation comparator of the hybrid first layer.
+
+    The stochastic dot-product engine produces two unipolar results -- one for
+    the positive-weight products and one for the negative-weight products --
+    each converted to a count.  The activation g(x, w) = sign(x . w) is then a
+    plain binary comparison of the two counts:
+
+    * +1 when the positive count exceeds the negative count,
+    * -1 when it is smaller,
+    *  0 on a tie.
+    """
+    pos = np.asarray(positive_count, dtype=np.int64)
+    neg = np.asarray(negative_count, dtype=np.int64)
+    return np.sign(pos - neg).astype(np.int8)

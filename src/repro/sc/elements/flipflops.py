@@ -1,0 +1,108 @@
+"""Sequential building blocks: the toggle flip-flop and the TFF halver.
+
+The toggle flip-flop (TFF) is the key hardware ingredient of the paper's new
+adder (Section III).  A TFF flips its stored bit whenever its input is 1;
+crucially, the output stream it produces
+
+* always has ones-density (very close to) 1/2, and
+* is *uncorrelated with its own input by construction* -- the output at
+  cycle ``t`` depends only on the parity of the input ones seen so far, so no
+  extra random number source is needed and auto-correlated inputs (such as
+  ramp-converted sensor data) are handled exactly.
+
+:func:`tff_halver` implements the circuit of Fig. 2a, which computes
+``p_C = p_A / 2`` by ANDing the input with the TFF output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .util import StreamLike, as_bits, wrap_like
+
+__all__ = ["toggle_states", "tff_output", "tff_halver", "ToggleFlipFlop"]
+
+
+def toggle_states(trigger: np.ndarray, initial_state: int = 0) -> np.ndarray:
+    """Return the TFF state *seen at* each cycle for a trigger bit array.
+
+    ``trigger`` has shape ``(..., N)``; the returned array has the same shape
+    and contains, for every cycle ``t``, the flip-flop state before any toggle
+    caused by ``trigger[t]`` is applied (i.e. the value a downstream gate
+    observes during cycle ``t``).
+    """
+    trigger = np.asarray(trigger, dtype=np.uint8)
+    if initial_state not in (0, 1):
+        raise ValueError(f"initial_state must be 0 or 1, got {initial_state}")
+    # Parity of trigger ones strictly before t, computed as an exclusive scan.
+    cumulative = np.cumsum(trigger, axis=-1, dtype=np.int64)
+    before = cumulative - trigger
+    return ((before & 1) ^ initial_state).astype(np.uint8)
+
+
+def tff_output(trigger: StreamLike, initial_state: int = 0) -> StreamLike:
+    """The bit-stream produced at the Q output of a TFF fed by ``trigger``."""
+    bits, _ = as_bits(trigger)
+    return wrap_like(toggle_states(bits, initial_state), trigger)
+
+
+def tff_halver(x: StreamLike, initial_state: int = 1) -> StreamLike:
+    """The Fig. 2a circuit: ``p_out = p_x / 2`` with no extra random source.
+
+    Every *other* 1 of the input is passed to the output; with
+    ``initial_state=1`` the first input 1 is passed (output ones-count is
+    ``ceil(ones / 2)``), with 0 it is suppressed (``floor(ones / 2)``).
+    """
+    bits, _ = as_bits(x)
+    # The TFF is triggered by the input itself; the AND gate passes the input
+    # bit only when the flip-flop currently stores a 1.
+    state = toggle_states(bits, initial_state)
+    return wrap_like((bits & state).astype(np.uint8), x)
+
+
+class ToggleFlipFlop:
+    """A stateful TFF for cycle-by-cycle use (gate-level simulation, examples).
+
+    The vectorized helpers above are preferred for bulk simulation; this class
+    exists for step-wise circuit walk-throughs and for the netlist substrate.
+    """
+
+    def __init__(self, initial_state: int = 0) -> None:
+        if initial_state not in (0, 1):
+            raise ValueError("initial_state must be 0 or 1")
+        self._initial_state = int(initial_state)
+        self._state = int(initial_state)
+
+    @property
+    def state(self) -> int:
+        """The currently stored bit."""
+        return self._state
+
+    def reset(self) -> None:
+        """Restore the initial state."""
+        self._state = self._initial_state
+
+    def step(self, trigger: int) -> int:
+        """Observe the current state, then toggle if ``trigger`` is 1.
+
+        Returns the state *before* the toggle, matching the semantics the
+        adder relies on (the multiplexer reads Q during the same cycle the
+        toggle pulse is applied).
+        """
+        current = self._state
+        if trigger:
+            self._state ^= 1
+        return current
+
+    def run(self, trigger: StreamLike) -> np.ndarray:
+        """Apply a whole trigger stream and return the observed states."""
+        bits, _ = as_bits(trigger)
+        if bits.ndim != 1:
+            raise ValueError(
+                "ToggleFlipFlop.run expects a single one-dimensional stream; "
+                "use toggle_states() for batched simulation"
+            )
+        out = np.empty_like(bits)
+        for i, bit in enumerate(bits):
+            out[i] = self.step(int(bit))
+        return out

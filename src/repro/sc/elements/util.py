@@ -1,0 +1,47 @@
+"""Shared helpers for stochastic arithmetic elements.
+
+All arithmetic elements in :mod:`repro.sc.elements` operate on the *last*
+axis of uint8 arrays, so the same code path serves three use cases:
+
+* single :class:`~repro.bitstream.Bitstream` objects (unit tests, examples);
+* batches of streams, e.g. ``(windows, taps, N)`` arrays produced by the
+  hybrid first layer (fast vectorized simulation);
+* exhaustive input sweeps for the Table 1 / Table 2 MSE experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from ...bitstream import Bitstream
+
+__all__ = ["StreamLike", "as_bits", "wrap_like", "check_same_length"]
+
+StreamLike = Union[Bitstream, np.ndarray]
+
+
+def as_bits(stream: StreamLike) -> Tuple[np.ndarray, bool]:
+    """Return ``(uint8 array, was_bitstream)`` for any accepted stream type."""
+    if isinstance(stream, Bitstream):
+        return stream.bits, True
+    arr = np.asarray(stream)
+    if arr.dtype != np.uint8:
+        arr = arr.astype(np.uint8)
+    return arr, False
+
+
+def wrap_like(bits: np.ndarray, template: StreamLike) -> StreamLike:
+    """Wrap ``bits`` back into a :class:`Bitstream` if ``template`` was one."""
+    if isinstance(template, Bitstream):
+        return Bitstream(bits, encoding=template.encoding)
+    return bits
+
+
+def check_same_length(*arrays: np.ndarray) -> int:
+    """Verify all arrays share the same stream length (last axis) and return it."""
+    lengths = {int(a.shape[-1]) for a in arrays}
+    if len(lengths) != 1:
+        raise ValueError(f"stream length mismatch: {sorted(lengths)}")
+    return lengths.pop()

@@ -1,0 +1,5 @@
+"""Shared utilities (sliding windows, reproducible configuration helpers)."""
+
+from .windows import conv_output_size, extract_patches, pad_images, patches_to_map
+
+__all__ = ["conv_output_size", "extract_patches", "pad_images", "patches_to_map"]

@@ -1,0 +1,98 @@
+"""Tests for the bipolar stochastic dot-product engine (the rejected alternative)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sc import BipolarDotProductEngine, new_sc_engine
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BipolarDotProductEngine(precision=1)
+        with pytest.raises(ValueError):
+            BipolarDotProductEngine(adder="or")
+
+    def test_length(self):
+        assert BipolarDotProductEngine(precision=6).length == 64
+
+    def test_tap_mismatch(self):
+        engine = BipolarDotProductEngine(precision=4)
+        with pytest.raises(ValueError):
+            engine.dot(np.zeros(5), np.zeros(6))
+
+    def test_weight_range_check(self):
+        engine = BipolarDotProductEngine(precision=4)
+        with pytest.raises(ValueError):
+            engine.weight_streams(np.array([1.5]))
+
+
+class TestAccuracy:
+    def test_simple_dot_product(self):
+        engine = BipolarDotProductEngine(precision=8)
+        x = np.full(4, 0.5)
+        w = np.array([1.0, 1.0, 1.0, 1.0])
+        result = engine.dot(x, w)
+        assert result.value[()] == pytest.approx(2.0, abs=0.3)
+        assert result.sign[()] == 1
+
+    def test_negative_weights_flip_sign(self):
+        engine = BipolarDotProductEngine(precision=8)
+        x = np.full(9, 0.8)
+        result = engine.dot(x, np.full(9, -0.8))
+        assert result.sign[()] == -1
+        assert result.value[()] < 0
+
+    def test_padding_does_not_bias_result(self):
+        # 25 taps get padded to 32 leaves; the pad streams encode bipolar zero
+        # so an all-zero dot product must stay near zero.
+        engine = BipolarDotProductEngine(precision=8)
+        x = np.zeros(25)
+        w = np.zeros(25)
+        result = engine.dot(x, w)
+        assert abs(result.value[()]) < 2.0
+
+    def test_batched_shape(self):
+        engine = BipolarDotProductEngine(precision=6)
+        rng = np.random.default_rng(0)
+        x = rng.random((5, 9))
+        w = rng.uniform(-1, 1, 9)
+        result = engine.dot(x, w)
+        assert result.count.shape == (5,)
+        assert result.sign.shape == (5,)
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=10, deadline=None)
+    def test_value_reconstruction_bounds(self, seed):
+        rng = np.random.default_rng(seed)
+        engine = BipolarDotProductEngine(precision=6, seed=seed + 1)
+        x = rng.random(9)
+        w = rng.uniform(-1, 1, 9)
+        result = engine.dot(x, w)
+        # The reconstructed value must stay within the representable range.
+        assert abs(result.value[()]) <= result.tree_scale
+
+
+class TestPaperClaim:
+    def test_split_unipolar_design_more_accurate_near_zero(self):
+        """Section IV-B: near the decision point the bipolar design is noisier.
+
+        Compare the paper's positive/negative-split unipolar engine against
+        the bipolar engine on dot products whose true value is near zero,
+        which is exactly where the sign activation decides.
+        """
+        rng = np.random.default_rng(0)
+        taps = 25
+        split_errors, bipolar_errors = [], []
+        for trial in range(12):
+            x = rng.random(taps)
+            w = rng.uniform(-1, 1, taps)
+            w = w - (x @ w) / x.sum()  # force the true dot product to ~0
+            w = np.clip(w, -1, 1)
+            exact = float(x @ w)
+            split = new_sc_engine(precision=6, seed=trial + 1).dot(x, w)
+            bipolar = BipolarDotProductEngine(precision=6, seed=trial + 1).dot(x, w)
+            split_errors.append((float(split.value[()]) - exact) ** 2)
+            bipolar_errors.append((float(bipolar.value[()]) - exact) ** 2)
+        assert np.mean(split_errors) < np.mean(bipolar_errors)

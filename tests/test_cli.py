@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_precision_parsing(self):
+        args = build_parser().parse_args(["table1", "--precisions", "6,4"])
+        assert args.precisions == (6, 4)
+
+    def test_invalid_precisions_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--precisions", "abc"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--precisions", "1,4"])
+
+    def test_hardware_flags(self):
+        args = build_parser().parse_args(["hardware", "--raw"])
+        assert args.raw is True
+
+    def test_accuracy_flags(self):
+        args = build_parser().parse_args(
+            ["accuracy", "--quick", "--no-retrain-row", "--train-size", "200"]
+        )
+        assert args.quick and args.no_retrain_row
+        assert args.train_size == 200
+
+
+class TestCommands:
+    def test_table1_command(self, capsys):
+        assert main(["table1", "--precisions", "5,4"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Ramp-compare" in out
+
+    def test_table2_command(self, capsys):
+        assert main(["table2", "--precisions", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "New adder" in out
+
+    def test_hardware_command(self, capsys):
+        assert main(["hardware", "--precisions", "8,4"]) == 0
+        out = capsys.readouterr().out
+        assert "Energy" in out and "Area" in out
+        assert "calibrated" in out
+
+    def test_hardware_raw_command(self, capsys):
+        assert main(["hardware", "--precisions", "8", "--raw"]) == 0
+        assert "raw model" in capsys.readouterr().out
+
+    def test_claims_command(self, capsys):
+        assert main(["claims"]) == 0
+        out = capsys.readouterr().out
+        assert "energy efficiency at 4-bit" in out
+
+    def test_accuracy_quick_command(self, capsys, monkeypatch):
+        # Keep the quick run genuinely small for CI purposes.
+        monkeypatch.setenv("REPRO_EVAL_IMAGES", "40")
+        assert main(["accuracy", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Misclassification" in out
+        assert "This Work" in out

@@ -1,0 +1,208 @@
+"""Tests for the experiment harness (Tables 1-3, summary, report formatting)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    AccuracyConfig,
+    HeadlineClaims,
+    adder_mse,
+    format_headline_claims,
+    format_table1,
+    format_table2,
+    format_table3_accuracy,
+    format_table3_hardware,
+    multiplier_mse,
+    run_table1,
+    run_table2,
+    run_table3_accuracy,
+    run_table3_hardware,
+    summarize,
+)
+from repro.eval.table3_accuracy import Table3AccuracyResult
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # 6-bit and 4-bit keep the exhaustive sweep fast while preserving the
+        # qualitative ordering; the benchmark runs the full 8-bit version.
+        return run_table1(precisions=(6, 4))
+
+    def test_all_schemes_present(self, result):
+        assert set(result.mse) == {
+            "shared_lfsr",
+            "two_lfsrs",
+            "low_discrepancy",
+            "ramp_low_discrepancy",
+        }
+
+    def test_paper_ordering(self, result):
+        # Paper Table 1: shared LFSR worst, ramp + low-discrepancy best.
+        for precision in (6, 4):
+            ordering = result.ordering_at(precision)
+            assert ordering[0] == "shared_lfsr"
+            assert result.best_scheme(precision) in (
+                "ramp_low_discrepancy",
+                "low_discrepancy",
+            )
+            assert (
+                result.mse["shared_lfsr"][precision]
+                > 3 * result.mse["ramp_low_discrepancy"][precision]
+            )
+
+    def test_mse_decreases_with_precision(self):
+        for scheme in ("low_discrepancy", "ramp_low_discrepancy"):
+            assert multiplier_mse(scheme, 7) < multiplier_mse(scheme, 4)
+
+    def test_formatting(self, result):
+        text = format_table1(result)
+        assert "Table 1" in text
+        assert "Ramp-compare" in text
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table2(precisions=(6, 4))
+
+    def test_all_configs_present(self, result):
+        assert set(result.mse) == {
+            "old_random_lfsr",
+            "old_random_tff",
+            "old_lfsr_tff",
+            "new_tff",
+        }
+
+    def test_new_adder_dominates(self, result):
+        # Paper Table 2: the TFF adder is at least an order of magnitude more
+        # accurate than every MUX-adder configuration.
+        for precision in (6, 4):
+            new = result.mse["new_tff"][precision]
+            for config in ("old_random_lfsr", "old_random_tff", "old_lfsr_tff"):
+                assert result.mse[config][precision] > 4 * new
+        assert result.improvement_factor(6) > 4
+
+    def test_new_adder_error_is_at_quantization_level(self):
+        # The TFF adder's only error is the half-LSB rounding; its MSE must be
+        # on the order of (1 / 2N)^2.
+        precision = 6
+        n = 2**precision
+        assert adder_mse("new_tff", precision) < (1.0 / n) ** 2
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ValueError):
+            adder_mse("quantum_adder", 4)
+
+    def test_formatting(self, result):
+        text = format_table2(result)
+        assert "Table 2" in text
+        assert "New adder" in text
+
+
+@pytest.fixture(scope="module")
+def accuracy_result():
+    """A miniature Table 3 accuracy run (small dataset, few epochs, 3 precisions)."""
+    config = AccuracyConfig(
+        precisions=(6, 4, 2),
+        train_size=300,
+        test_size=100,
+        baseline_epochs=2,
+        retrain_epochs=1,
+        sc_mode="emulate",
+        sc_eval_images=60,
+        include_no_retrain=True,
+        seed=0,
+    )
+    return run_table3_accuracy(config)
+
+
+class TestTable3Accuracy:
+    def test_designs_and_precisions_present(self, accuracy_result):
+        assert set(accuracy_result.rates) == {
+            "binary",
+            "old_sc",
+            "this_work",
+            "binary_no_retrain",
+        }
+        for design in accuracy_result.rates.values():
+            assert set(design) == {6, 4, 2}
+
+    def test_rates_are_valid_probabilities(self, accuracy_result):
+        for design in accuracy_result.rates.values():
+            for rate in design.values():
+                assert 0.0 <= rate <= 1.0
+
+    def test_metadata(self, accuracy_result):
+        assert accuracy_result.train_size == 300
+        assert accuracy_result.test_size == 100
+        assert 0.0 <= accuracy_result.baseline_misclassification <= 1.0
+
+    def test_helper_accessors(self, accuracy_result):
+        gap = accuracy_result.gap_to_binary("this_work", 6)
+        assert isinstance(gap, float)
+        improvement = accuracy_result.improvement_over_old_sc(6)
+        assert isinstance(improvement, float)
+
+    def test_formatting(self, accuracy_result):
+        text = format_table3_accuracy(accuracy_result)
+        assert "Misclassification" in text
+        assert "This Work" in text
+        assert "%" in text
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AccuracyConfig(sc_mode="approximate")
+
+    def test_bitexact_env_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BITEXACT", "1")
+        config = AccuracyConfig()
+        assert config.sc_mode == "bitexact"
+        assert config.sc_eval_images == 100
+
+    def test_eval_images_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVAL_IMAGES", "42")
+        assert AccuracyConfig().sc_eval_images == 42
+
+
+class TestTable3Hardware:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table3_hardware(precisions=(8, 6, 4, 2))
+
+    def test_rows_and_accessors(self, result):
+        assert [row.precision for row in result.rows] == [8, 6, 4, 2]
+        assert result.break_even_precision() == 8
+        assert result.energy_efficiency_at(4) > 5.0
+        assert result.area_ratio_at(4) > 1.5
+
+    def test_formatting(self, result):
+        text = format_table3_hardware(result)
+        assert "Power" in text and "Energy" in text and "Area" in text
+        assert "calibrated" in text
+
+    def test_raw_mode(self):
+        raw = run_table3_hardware(precisions=(8, 4), calibrate=False)
+        assert not raw.calibrated
+        assert raw.rows[0].binary_power_mw > 0
+
+
+class TestSummary:
+    def test_summary_from_hardware_only(self):
+        hardware = run_table3_hardware(precisions=(8, 6, 4, 2))
+        claims = summarize(hardware)
+        assert isinstance(claims, HeadlineClaims)
+        assert claims.energy_ratio_4bit > 5.0
+        assert claims.break_even_precision == 8
+        assert claims.accuracy_gap_8bit_pct is None
+        text = format_headline_claims(claims)
+        assert "energy efficiency" in text
+
+    def test_summary_with_accuracy(self, accuracy_result):
+        hardware = run_table3_hardware(precisions=(8, 6, 4, 2))
+        claims = summarize(hardware, accuracy_result)
+        assert claims.accuracy_gap_4bit_pct is not None
+        assert claims.max_improvement_over_old_sc_pct is not None
+        assert "accuracy gap" in format_headline_claims(claims)
+        as_dict = claims.as_dict()
+        assert "energy_ratio_4bit" in as_dict

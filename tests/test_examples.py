@@ -1,0 +1,67 @@
+"""Smoke tests for the runnable examples (the fast ones).
+
+The two long-running examples (hybrid_digit_classification.py and
+reproduce_paper_tables.py) are exercised indirectly: the library calls they
+make are covered by tests/test_eval_tables.py and tests/test_hybrid.py, and
+the benchmark suite runs the same experiments end to end.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 300) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExampleScripts:
+    def test_examples_directory_contents(self):
+        scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "sc_primitives_tour.py",
+            "hybrid_digit_classification.py",
+            "energy_tradeoff_sweep.py",
+            "reproduce_paper_tables.py",
+        } <= scripts
+
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "exactly 13/20" in output
+        assert "stochastic dot product" in output
+        assert "0.3750" in output  # the AND-gate multiplication result
+
+    def test_energy_tradeoff_sweep(self):
+        output = run_example("energy_tradeoff_sweep.py")
+        assert "Raw gate-count model" in output
+        assert "Calibrated to the paper's 8-bit synthesis anchor" in output
+        assert "energy efficiency at 4-bit" in output
+        assert "measured 8 bits" in output  # break-even precision
+
+    def test_sc_primitives_tour(self):
+        output = run_example("sc_primitives_tour.py", timeout=600)
+        assert "Table 1" in output and "Table 2" in output
+        assert "TFF adder netlist" in output
+        assert "auto-correlated" in output
+
+    @pytest.mark.parametrize(
+        "name",
+        ["hybrid_digit_classification.py", "reproduce_paper_tables.py"],
+    )
+    def test_long_examples_have_docstrings_and_main(self, name):
+        source = (EXAMPLES_DIR / name).read_text()
+        assert '"""' in source
+        assert "def main()" in source
+        assert '__name__ == "__main__"' in source

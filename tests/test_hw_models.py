@@ -1,0 +1,163 @@
+"""Tests for the hardware cost models (Table 3 bottom half)."""
+
+import pytest
+
+from repro.hw import (
+    BinaryEngineModel,
+    HardwareComparison,
+    PAPER_TABLE3_REFERENCE,
+    StochasticEngineModel,
+    SystemGeometry,
+    TechnologyParameters,
+)
+
+
+class TestTechnologyParameters:
+    def test_defaults_valid(self):
+        tech = TechnologyParameters()
+        assert tech.sc_clock_mhz > 0
+        assert 0 < tech.utilization <= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TechnologyParameters(sc_clock_mhz=0)
+        with pytest.raises(ValueError):
+            TechnologyParameters(utilization=1.5)
+        with pytest.raises(ValueError):
+            TechnologyParameters(wiring_overhead=0.5)
+        with pytest.raises(ValueError):
+            TechnologyParameters(sc_activity=2.0)
+
+    def test_geometry_macs(self):
+        geometry = SystemGeometry()
+        assert geometry.macs_per_frame == 784 * 25 * 32
+
+
+class TestStochasticEngineModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StochasticEngineModel(precision=1)
+
+    def test_cycles_scale_exponentially(self):
+        assert StochasticEngineModel(4).cycles_per_frame() == 32 * 16
+        assert StochasticEngineModel(8).cycles_per_frame() == 32 * 256
+
+    def test_power_roughly_constant_across_precision(self):
+        p8 = StochasticEngineModel(8).power_mw()
+        p2 = StochasticEngineModel(2).power_mw()
+        assert 0.5 < p2 / p8 < 1.1  # slightly lower at low precision (smaller counters)
+
+    def test_energy_decays_exponentially(self):
+        e8 = StochasticEngineModel(8).energy_per_frame_nj()
+        e4 = StochasticEngineModel(4).energy_per_frame_nj()
+        assert e8 / e4 > 8.0  # ~16x fewer cycles, nearly equal power
+
+    def test_area_nearly_constant(self):
+        a8 = StochasticEngineModel(8).area_mm2()
+        a2 = StochasticEngineModel(2).area_mm2()
+        assert 0.7 < a2 / a8 <= 1.0
+
+    def test_report_fields_consistent(self):
+        report = StochasticEngineModel(6).report()
+        assert report.energy_per_frame_nj == pytest.approx(
+            report.power_mw * report.frame_time_us, rel=1e-6
+        )
+        assert report.throughput_fps == pytest.approx(1e6 / report.frame_time_us)
+
+
+class TestBinaryEngineModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BinaryEngineModel(precision=1)
+        with pytest.raises(ValueError):
+            BinaryEngineModel(4).matched_frequency_mhz(0)
+
+    def test_cycles_independent_of_precision(self):
+        assert BinaryEngineModel(4).cycles_per_frame() == BinaryEngineModel(8).cycles_per_frame()
+
+    def test_area_shrinks_with_precision(self):
+        a8 = BinaryEngineModel(8).area_mm2()
+        a4 = BinaryEngineModel(4).area_mm2()
+        a2 = BinaryEngineModel(2).area_mm2()
+        assert a8 > a4 > a2
+
+    def test_power_scales_with_frequency(self):
+        model = BinaryEngineModel(8)
+        assert model.power_mw(400.0) > model.power_mw(100.0)
+
+    def test_energy_nearly_frequency_independent(self):
+        model = BinaryEngineModel(8)
+        slow = model.energy_per_frame_nj(100.0)
+        fast = model.energy_per_frame_nj(1000.0)
+        # dynamic energy per frame is fixed; only leakage integration differs
+        assert abs(slow - fast) / slow < 0.2
+
+    def test_matched_frequency(self):
+        model = BinaryEngineModel(8)
+        fps = 1000.0
+        freq = model.matched_frequency_mhz(fps)
+        assert freq == pytest.approx(model.cycles_per_frame() * fps / 1e6)
+
+    def test_report_with_target_fps(self):
+        report = BinaryEngineModel(6).report(target_fps=5000.0)
+        assert report.throughput_fps == pytest.approx(5000.0, rel=1e-6)
+
+
+class TestHardwareComparison:
+    @pytest.fixture(scope="class")
+    def calibrated(self):
+        return HardwareComparison(calibrate=True)
+
+    @pytest.fixture(scope="class")
+    def raw(self):
+        return HardwareComparison(calibrate=False)
+
+    def test_anchor_matches_paper(self, calibrated):
+        row = calibrated.row(8)
+        reference = PAPER_TABLE3_REFERENCE
+        assert row.binary_power_mw == pytest.approx(reference["binary_power_mw"][8], rel=1e-6)
+        assert row.sc_power_mw == pytest.approx(reference["sc_power_mw"][8], rel=1e-6)
+        assert row.binary_area_mm2 == pytest.approx(reference["binary_area_mm2"][8], rel=1e-6)
+        assert row.sc_area_mm2 == pytest.approx(reference["sc_area_mm2"][8], rel=1e-6)
+        # Energy anchors follow from power anchors and the matched frame time.
+        assert row.binary_energy_nj == pytest.approx(reference["binary_energy_nj"][8], rel=0.05)
+        assert row.sc_energy_nj == pytest.approx(reference["sc_energy_nj"][8], rel=0.05)
+
+    def test_paper_trends_hold(self, calibrated):
+        rows = calibrated.rows()
+        by_precision = {r.precision: r for r in rows}
+        # Binary throughput-normalized power grows steeply as precision drops.
+        assert by_precision[2].binary_power_mw > 8 * by_precision[8].binary_power_mw
+        # SC power stays roughly flat.
+        assert 0.5 < by_precision[2].sc_power_mw / by_precision[8].sc_power_mw < 1.2
+        # SC energy decays by orders of magnitude; binary decays slower.
+        assert by_precision[8].sc_energy_nj / by_precision[2].sc_energy_nj > 30
+        assert by_precision[8].binary_energy_nj / by_precision[2].binary_energy_nj < 10
+        # Break-even at 8 bits and roughly an order of magnitude at 4 bits.
+        assert calibrated.break_even_precision() == 8
+        assert by_precision[4].energy_efficiency_ratio > 5.0
+        # SC area roughly flat, binary area shrinking; ~2x ratio at 4 bits.
+        assert by_precision[4].area_ratio > 1.5
+
+    def test_monotone_energy_ratio(self, calibrated):
+        rows = calibrated.rows()
+        ratios = [r.energy_efficiency_ratio for r in rows]  # 8 -> 2 bits
+        assert all(b >= a for a, b in zip(ratios, ratios[1:]))
+
+    def test_raw_rows_positive(self, raw):
+        for row in raw.rows((8, 4, 2)):
+            assert row.binary_power_mw > 0
+            assert row.sc_power_mw > 0
+            assert row.binary_energy_nj > 0
+            assert row.sc_energy_nj > 0
+        assert raw.calibration_factors == {
+            "binary_power": 1.0,
+            "sc_power": 1.0,
+            "binary_area": 1.0,
+            "sc_area": 1.0,
+        }
+
+    def test_calibration_factors_exposed(self, calibrated):
+        factors = calibrated.calibration_factors
+        assert set(factors) == {"binary_power", "sc_power", "binary_area", "sc_area"}
+        assert all(f > 0 for f in factors.values())

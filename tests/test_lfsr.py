@@ -1,0 +1,110 @@
+"""Tests for the LFSR number sources."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rng import LFSR, LFSRSource, MAXIMAL_TAPS, ShiftedLFSRSource
+
+
+class TestLFSR:
+    @pytest.mark.parametrize("bits", [2, 3, 4, 5, 6, 7, 8])
+    def test_maximal_period(self, bits):
+        # A maximal-length n-bit LFSR must visit all 2**n - 1 non-zero states.
+        lfsr = LFSR(bits, seed=1)
+        cycle = lfsr.cycle()
+        assert len(cycle) == (1 << bits) - 1
+        assert len(set(cycle)) == len(cycle)
+        assert 0 not in cycle
+
+    def test_period_property(self):
+        assert LFSR(8).period == 255
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            LFSR(4, seed=0)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            LFSR(1)
+
+    def test_unknown_width_requires_taps(self):
+        with pytest.raises(ValueError):
+            LFSR(25)
+        lfsr = LFSR(4, taps=(4, 3))
+        assert len(lfsr.cycle()) == 15
+
+    def test_bad_taps_rejected(self):
+        with pytest.raises(ValueError):
+            LFSR(4, taps=(5, 1))
+
+    def test_reset_restores_seed(self):
+        lfsr = LFSR(6, seed=13)
+        lfsr.step()
+        lfsr.step()
+        lfsr.reset()
+        assert lfsr.state == 13
+
+    def test_states_deterministic(self):
+        a = LFSR(8, seed=7).states(100)
+        b = LFSR(8, seed=7).states(100)
+        np.testing.assert_array_equal(a, b)
+
+    def test_bit_sequence_is_msb(self):
+        lfsr = LFSR(4, seed=8)  # state 8 = 0b1000, MSB = 1
+        bits = lfsr.bit_sequence(1)
+        assert bits[0] == 1
+
+    def test_different_seeds_different_phases(self):
+        a = LFSR(8, seed=1).states(50)
+        b = LFSR(8, seed=100).states(50)
+        assert not np.array_equal(a, b)
+
+    @given(st.sampled_from(sorted(MAXIMAL_TAPS)), st.integers(min_value=1, max_value=100))
+    @settings(max_examples=25, deadline=None)
+    def test_state_never_zero(self, bits, seed):
+        lfsr = LFSR(bits, seed=(seed % ((1 << bits) - 1)) + 1)
+        states = lfsr.states(min(200, 4 * lfsr.period))
+        assert np.all(states != 0)
+
+
+class TestLFSRSource:
+    def test_values_in_unit_interval(self):
+        seq = LFSRSource(8).sequence(255)
+        assert np.all(seq > 0.0)  # zero state never occurs
+        assert np.all(seq < 1.0)
+
+    def test_sequence_resets_each_call(self):
+        src = LFSRSource(8, seed=3)
+        np.testing.assert_array_equal(src.sequence(64), src.sequence(64))
+
+    def test_nearly_uniform_over_period(self):
+        src = LFSRSource(8)
+        seq = src.sequence(255)
+        # All non-zero grid points appear exactly once over one full period.
+        assert len(np.unique(seq)) == 255
+
+    def test_resolution_bits(self):
+        assert LFSRSource(6).resolution_bits == 6
+
+
+class TestShiftedLFSRSource:
+    def test_is_delayed_copy(self):
+        base = LFSRSource(8, seed=1)
+        shifted = ShiftedLFSRSource(base, shift=5)
+        full = base.sequence(300)
+        np.testing.assert_array_equal(shifted.sequence(100), full[5:105])
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ValueError):
+            ShiftedLFSRSource(LFSRSource(4), shift=-1)
+
+    def test_highly_correlated_with_base(self):
+        # The whole point of the Table 1 comparison: a shifted copy of the
+        # same LFSR is far from independent of the original sequence.
+        base = LFSRSource(8, seed=1)
+        shifted = ShiftedLFSRSource(base, shift=4)
+        a = base.sequence(255)
+        b = shifted.sequence(255)
+        assert not np.array_equal(a, b)
+        assert set(np.round(a, 12)) == set(np.round(b, 12))

@@ -1,0 +1,247 @@
+"""Tests for the netlist substrate: cells, netlist graph, simulator, power."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import (
+    CELL_LIBRARY,
+    Netlist,
+    PowerReport,
+    cell,
+    energy_per_frame_nj,
+    estimate_area_mm2,
+    estimate_power,
+    nand2_equivalents,
+    simulate,
+)
+
+
+class TestCellLibrary:
+    def test_lookup(self):
+        assert cell("NAND2").name == "NAND2"
+        with pytest.raises(KeyError):
+            cell("NAND9")
+
+    def test_all_cells_have_logic(self):
+        for name, ctype in CELL_LIBRARY.items():
+            assert ctype.logic is not None, name
+            assert ctype.area_um2 > 0
+            assert ctype.toggle_energy_fj > 0
+            assert ctype.leakage_nw > 0
+
+    def test_combinational_logic_truth_tables(self):
+        assert cell("NAND2").logic((1, 1)) == (0,)
+        assert cell("NOR2").logic((0, 0)) == (1,)
+        assert cell("XOR2").logic((1, 0)) == (1,)
+        assert cell("XNOR2").logic((1, 0)) == (0,)
+        assert cell("MUX2").logic((0, 1, 1)) == (1,)
+        assert cell("MUX2").logic((0, 1, 0)) == (0,)
+        assert cell("INV").logic((1,)) == (0,)
+        assert cell("FA").logic((1, 1, 1)) == (1, 1)
+        assert cell("FA").logic((1, 1, 0)) == (0, 1)
+        assert cell("HA").logic((1, 1)) == (0, 1)
+        assert cell("CMP1").logic((1, 0, 0)) == (1,)
+        assert cell("CMP1").logic((0, 1, 1)) == (0,)
+        assert cell("CMP1").logic((1, 1, 1)) == (1,)
+
+    def test_sequential_logic(self):
+        new_state, outs = cell("DFF").logic(0, (1,))
+        assert (new_state, outs) == (1, (0,))
+        new_state, outs = cell("TFF").logic(1, (1,))
+        assert (new_state, outs) == (0, (1,))
+
+    def test_gate_equivalents(self):
+        assert cell("NAND2").gate_equivalents == pytest.approx(1.0)
+        assert cell("FA").gate_equivalents == pytest.approx(5.0)
+        assert nand2_equivalents(14.4) == pytest.approx(10.0)
+
+
+class TestNetlistGraph:
+    def build_simple(self):
+        net = Netlist("simple")
+        a = net.add_input("a")
+        b = net.add_input("b")
+        (n1,) = net.add_cell("NAND2", [a, b])
+        (y,) = net.add_cell("INV", [n1], outputs=["y"])
+        net.add_output(y)
+        return net
+
+    def test_construction(self):
+        net = self.build_simple()
+        assert len(net.instances) == 2
+        assert net.cell_counts() == {"NAND2": 1, "INV": 1}
+        assert net.driver_of("a") == "<input>"
+        assert "Netlist" in repr(net)
+
+    def test_duplicate_input_rejected(self):
+        net = Netlist("x")
+        net.add_input("a")
+        with pytest.raises(ValueError):
+            net.add_input("a")
+
+    def test_double_driver_rejected(self):
+        net = Netlist("x")
+        a = net.add_input("a")
+        net.add_cell("INV", [a], outputs=["y"])
+        with pytest.raises(ValueError):
+            net.add_cell("INV", [a], outputs=["y"])
+
+    def test_wrong_pin_count_rejected(self):
+        net = Netlist("x")
+        a = net.add_input("a")
+        with pytest.raises(ValueError):
+            net.add_cell("NAND2", [a])
+        with pytest.raises(ValueError):
+            net.add_cell("INV", [a], outputs=["y", "z"])
+
+    def test_validate_detects_undriven_net(self):
+        net = Netlist("x")
+        net.add_input("a")
+        net.add_cell("NAND2", ["a", "ghost"], outputs=["y"])
+        with pytest.raises(ValueError):
+            net.validate()
+
+    def test_topological_order(self):
+        net = self.build_simple()
+        order = [inst.cell.name for inst in net.topological_order()]
+        assert order == ["NAND2", "INV"]
+
+    def test_combinational_cycle_detected(self):
+        net = Netlist("loop")
+        net.add_input("a")
+        net.add_cell("NAND2", ["a", "y"], outputs=["x"])
+        net.add_cell("INV", ["x"], outputs=["y"])
+        with pytest.raises(ValueError):
+            net.topological_order()
+
+    def test_total_area(self):
+        net = self.build_simple()
+        expected = CELL_LIBRARY["NAND2"].area_um2 + CELL_LIBRARY["INV"].area_um2
+        assert net.total_area_um2() == pytest.approx(expected)
+
+    def test_merge(self):
+        inner = self.build_simple()
+        outer = Netlist("outer")
+        mapping = outer.merge(inner, prefix="sub")
+        assert "sub_a" in outer.primary_inputs
+        assert mapping["y"] == "sub_y"
+        assert len(outer.instances) == 2
+
+
+class TestSimulator:
+    def test_combinational_and_gate(self):
+        net = Netlist("and")
+        a = net.add_input("a")
+        b = net.add_input("b")
+        (y,) = net.add_cell("AND2", [a, b], outputs=["y"])
+        net.add_output(y)
+        result = simulate(net, {"a": [0, 0, 1, 1], "b": [0, 1, 0, 1]})
+        np.testing.assert_array_equal(result.waveform("y"), [0, 0, 0, 1])
+
+    def test_missing_stimulus_rejected(self):
+        net = Netlist("x")
+        net.add_input("a")
+        with pytest.raises(ValueError):
+            simulate(net, {})
+
+    def test_short_stimulus_rejected(self):
+        net = Netlist("x")
+        a = net.add_input("a")
+        (y,) = net.add_cell("INV", [a], outputs=["y"])
+        net.add_output(y)
+        with pytest.raises(ValueError):
+            simulate(net, {"a": [0, 1]}, cycles=5)
+
+    def test_dff_delays_by_one_cycle(self):
+        net = Netlist("dff")
+        d = net.add_input("d")
+        (q,) = net.add_cell("DFF", [d], outputs=["q"])
+        net.add_output(q)
+        result = simulate(net, {"d": [1, 0, 1, 1]})
+        np.testing.assert_array_equal(result.waveform("q"), [0, 1, 0, 1])
+
+    def test_tff_toggles(self):
+        net = Netlist("tff")
+        t = net.add_input("t")
+        (q,) = net.add_cell("TFF", [t], outputs=["q"])
+        net.add_output(q)
+        result = simulate(net, {"t": [1, 1, 0, 1]})
+        np.testing.assert_array_equal(result.waveform("q"), [0, 1, 0, 0])
+
+    def test_toggle_counts_and_activity(self):
+        net = Netlist("inv")
+        a = net.add_input("a")
+        (y,) = net.add_cell("INV", [a], outputs=["y"])
+        net.add_output(y)
+        result = simulate(net, {"a": [0, 1, 0, 1]})
+        assert result.toggles["y"] == 3
+        assert result.activity("y") == pytest.approx(1.0)
+        assert result.total_toggles() >= 6
+        assert 0.0 < result.average_activity() <= 1.0
+
+    def test_record_specific_nets(self):
+        net = Netlist("x")
+        a = net.add_input("a")
+        (n1,) = net.add_cell("INV", [a], outputs=["mid"])
+        (y,) = net.add_cell("INV", [n1], outputs=["y"])
+        net.add_output(y)
+        result = simulate(net, {"a": [0, 1]}, record=["mid"])
+        assert "mid" in result.waveforms
+        assert "y" not in result.waveforms
+
+
+class TestPowerModels:
+    def build_block(self):
+        net = Netlist("block")
+        a = net.add_input("a")
+        b = net.add_input("b")
+        (y,) = net.add_cell("AND2", [a, b], outputs=["y"])
+        (q,) = net.add_cell("DFF", [y], outputs=["q"])
+        net.add_output(q)
+        return net
+
+    def test_area_estimate(self):
+        net = self.build_block()
+        area = estimate_area_mm2(net, utilization=1.0)
+        expected = (CELL_LIBRARY["AND2"].area_um2 + CELL_LIBRARY["DFF"].area_um2) / 1e6
+        assert area == pytest.approx(expected)
+        assert estimate_area_mm2(net, utilization=0.5) == pytest.approx(2 * expected)
+        with pytest.raises(ValueError):
+            estimate_area_mm2(net, utilization=0.0)
+
+    def test_power_with_default_activity(self):
+        report = estimate_power(self.build_block(), frequency_mhz=100.0)
+        assert isinstance(report, PowerReport)
+        assert report.dynamic_mw > 0
+        assert report.leakage_mw > 0
+        assert report.total_mw == pytest.approx(report.dynamic_mw + report.leakage_mw)
+
+    def test_power_scales_with_frequency_and_activity(self):
+        net = self.build_block()
+        slow = estimate_power(net, frequency_mhz=100.0, activity=0.1)
+        fast = estimate_power(net, frequency_mhz=200.0, activity=0.1)
+        busy = estimate_power(net, frequency_mhz=100.0, activity=0.2)
+        assert fast.dynamic_mw == pytest.approx(2 * slow.dynamic_mw)
+        assert busy.dynamic_mw == pytest.approx(2 * slow.dynamic_mw)
+        assert fast.leakage_mw == pytest.approx(slow.leakage_mw)
+
+    def test_power_rejects_bad_args(self):
+        net = self.build_block()
+        with pytest.raises(ValueError):
+            estimate_power(net, frequency_mhz=0.0)
+        with pytest.raises(ValueError):
+            estimate_power(net, frequency_mhz=100.0, activity=-1.0)
+
+    def test_power_from_simulation_trace(self):
+        net = self.build_block()
+        result = simulate(net, {"a": [0, 1] * 8, "b": [1, 1] * 8})
+        report = estimate_power(net, frequency_mhz=100.0, simulation=result)
+        assert report.dynamic_mw > 0
+        assert report.activity == pytest.approx(result.average_activity())
+
+    def test_energy_per_frame(self):
+        report = PowerReport(dynamic_mw=1.0, leakage_mw=0.0, frequency_mhz=100.0, activity=0.1)
+        # 100 cycles at 100 MHz = 1 us; 1 mW * 1 us = 1 nJ.
+        assert energy_per_frame_nj(report, cycles_per_frame=100) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            energy_per_frame_nj(report, cycles_per_frame=-1)
