@@ -1,0 +1,128 @@
+"""Benchmark: packed-word backend vs. the unpacked byte-per-bit reference.
+
+Times the two hot kernels of the reproduction -- the stochastic dot product
+and the stochastic convolution layer -- on both backends, asserts the packed
+path meets its speedup floor (>= 5x on the dot-product kernel at stream
+length 4096, the acceptance criterion of the packed-backend change), and
+writes a ``BENCH_packed.json`` artifact so the speedup trajectory can be
+tracked across commits.
+
+Timings use best-of-``REPEATS`` wall-clock so a single scheduler hiccup on a
+loaded CI machine cannot fail the regression assertion.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bitstream import pack_bits
+from repro.sc import StochasticConv2D, TffAdder, new_sc_engine
+from repro.sc.dotproduct import stochastic_dot_product, stochastic_dot_product_packed
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_packed.json"
+REPEATS = 3
+
+
+def best_of(fn, repeats=REPEATS):
+    """Best wall-clock of ``repeats`` runs, plus the last return value."""
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_packed_dot_product_speedup_at_4096():
+    rng = np.random.default_rng(0)
+    length, taps, batch = 4096, 25, 32
+    x_bits = rng.integers(0, 2, size=(batch, taps, length)).astype(np.uint8)
+    w_bits = rng.integers(0, 2, size=(taps, length)).astype(np.uint8)
+    x_words, w_words = pack_bits(x_bits), pack_bits(w_bits)
+
+    unpacked_s, unpacked_counts = best_of(
+        lambda: stochastic_dot_product(x_bits, w_bits, TffAdder)
+    )
+    packed_s, packed_counts = best_of(
+        lambda: stochastic_dot_product_packed(x_words, w_words, length, TffAdder)
+    )
+
+    # Correctness first: the speedup claim is only meaningful bit-identically.
+    np.testing.assert_array_equal(packed_counts, unpacked_counts)
+
+    speedup = unpacked_s / packed_s
+    print(
+        f"\ndot product N={length}, taps={taps}, batch={batch}: "
+        f"unpacked {unpacked_s * 1e3:.1f} ms, packed {packed_s * 1e3:.1f} ms "
+        f"({speedup:.1f}x)"
+    )
+    assert speedup >= 5.0, (
+        f"packed dot product only {speedup:.1f}x faster than unpacked "
+        f"(floor is 5x at stream length {length})"
+    )
+
+    memory_ratio = x_bits.nbytes / x_words.nbytes
+    assert memory_ratio >= 7.9  # 8x minus the tail-word rounding
+
+    _write_artifact(
+        dot_product={
+            "stream_length": length,
+            "taps": taps,
+            "batch": batch,
+            "unpacked_seconds": unpacked_s,
+            "packed_seconds": packed_s,
+            "speedup": speedup,
+            "memory_ratio": memory_ratio,
+        }
+    )
+
+
+def test_packed_convolution_faster():
+    rng = np.random.default_rng(1)
+    images = rng.random((2, 12, 12))
+    kernels = rng.uniform(-1.0, 1.0, (8, 5, 5))
+
+    results, timings = {}, {}
+    for backend in ("unpacked", "packed"):
+        layer = StochasticConv2D(
+            kernels, engine=new_sc_engine(8, seed=1, backend=backend), padding=2
+        )
+        timings[backend], results[backend] = best_of(lambda: layer.forward(images))
+
+    np.testing.assert_array_equal(
+        results["packed"].positive_count, results["unpacked"].positive_count
+    )
+    np.testing.assert_array_equal(results["packed"].sign, results["unpacked"].sign)
+
+    speedup = timings["unpacked"] / timings["packed"]
+    print(
+        f"\nconvolution 12x12, 8 kernels, N=256: "
+        f"unpacked {timings['unpacked'] * 1e3:.0f} ms, "
+        f"packed {timings['packed'] * 1e3:.0f} ms ({speedup:.1f}x)"
+    )
+    assert speedup > 1.2, f"packed convolution not faster ({speedup:.2f}x)"
+
+    _write_artifact(
+        convolution={
+            "image": [2, 12, 12],
+            "kernels": [8, 5, 5],
+            "stream_length": 256,
+            "unpacked_seconds": timings["unpacked"],
+            "packed_seconds": timings["packed"],
+            "speedup": speedup,
+        }
+    )
+
+
+def _write_artifact(**sections):
+    """Merge benchmark sections into the BENCH_packed.json artifact."""
+    data = {}
+    if ARTIFACT.exists():
+        try:
+            data = json.loads(ARTIFACT.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    data.update(sections)
+    ARTIFACT.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")

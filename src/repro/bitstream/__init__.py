@@ -1,4 +1,10 @@
-"""Bit-stream representation and value encodings for stochastic computing."""
+"""Bit-stream representations and value encodings for stochastic computing.
+
+Two interchangeable stream representations are provided: the byte-per-bit
+:class:`Bitstream` reference and the 64-bits-per-word
+:class:`~repro.bitstream.packed.PackedBitstream` fast backend, convertible
+losslessly via ``Bitstream.pack()`` / ``PackedBitstream.unpack()``.
+"""
 
 from .bitstream import Bitstream
 from .correlation import (
@@ -6,6 +12,22 @@ from .correlation import (
     overlap_count,
     pearson_correlation,
     stochastic_cross_correlation,
+)
+from .packed import (
+    WORD_BITS,
+    PackedBitstream,
+    mask_tail,
+    pack_bits,
+    pack_comparator_output,
+    packed_mux,
+    packed_mux_add,
+    packed_not,
+    packed_or_add,
+    packed_popcount,
+    packed_tff_add,
+    packed_toggle_states,
+    unpack_bits,
+    words_for,
 )
 from .encoding import (
     BIPOLAR,
@@ -25,6 +47,20 @@ from .encoding import (
 
 __all__ = [
     "Bitstream",
+    "PackedBitstream",
+    "WORD_BITS",
+    "words_for",
+    "pack_bits",
+    "pack_comparator_output",
+    "unpack_bits",
+    "mask_tail",
+    "packed_popcount",
+    "packed_not",
+    "packed_mux",
+    "packed_tff_add",
+    "packed_or_add",
+    "packed_mux_add",
+    "packed_toggle_states",
     "UNIPOLAR",
     "BIPOLAR",
     "stream_length",

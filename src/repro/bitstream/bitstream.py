@@ -14,6 +14,12 @@ Streams are immutable from the point of view of the arithmetic elements: all
 operations return new :class:`Bitstream` instances.  Internally bits are kept
 as ``uint8`` (0/1) so that vectorized batch simulation can reuse the same
 kernels on large arrays.
+
+For long streams the one-byte-per-bit layout is the simulation bottleneck;
+:meth:`Bitstream.pack` converts losslessly to the 64-bits-per-word
+:class:`~repro.bitstream.packed.PackedBitstream` representation, whose
+word-level gate kernels are roughly an order of magnitude faster and ~8x
+smaller in memory (see :mod:`repro.bitstream.packed`).
 """
 
 from __future__ import annotations
@@ -121,13 +127,17 @@ class Bitstream:
     def from_exact(
         cls, value: float, length: int, encoding: str = UNIPOLAR
     ) -> "Bitstream":
-        """Build a stream whose ones-count is exactly ``round(p * length)``.
+        """Build a stream whose ones-count is exactly ``floor(p * length + 0.5)``.
 
-        Ones are placed at the front of the stream; combine with a permutation
-        or use :mod:`repro.rng` generators when bit ordering matters.
+        Half-way counts round *up* (``floor(p * length + 0.5)``) rather than
+        to-nearest-even: Python's ``round`` would under-count the ones of e.g.
+        value 0.5 at odd lengths, biasing every exactly-representable midpoint
+        downward.  Ones are placed at the front of the stream; combine with a
+        permutation or use :mod:`repro.rng` generators when bit ordering
+        matters.
         """
         p = float(to_probability(value, encoding))
-        k = int(round(p * length))
+        k = min(int(np.floor(p * length + 0.5)), length)
         bits = np.zeros(length, dtype=np.uint8)
         bits[:k] = 1
         return cls(bits, encoding=encoding)
@@ -171,6 +181,16 @@ class Bitstream:
     def as_encoding(self, encoding: str) -> "Bitstream":
         """Return the same bits re-interpreted under another encoding."""
         return Bitstream(self.bits, encoding=encoding)
+
+    def pack(self):
+        """Convert to the packed 64-bits-per-word representation (lossless).
+
+        Returns a :class:`~repro.bitstream.packed.PackedBitstream` with the
+        same bits, length and encoding; ``stream.pack().unpack() == stream``.
+        """
+        from .packed import PackedBitstream, pack_bits
+
+        return PackedBitstream(pack_bits(self.bits), len(self), self.encoding)
 
     # ------------------------------------------------------------------ #
     # elementwise logic (the physical gates of stochastic computing)

@@ -1,0 +1,484 @@
+"""Packed-word bit-stream backend: 64 bits per machine word, popcount kernels.
+
+The unpacked :class:`~repro.bitstream.bitstream.Bitstream` representation
+stores every bit as one ``uint8`` byte, which is convenient but makes the
+bit-exact simulation of long streams (``2**precision`` cycles per kernel
+evaluation, across hundreds of dot-product engines) the dominant wall-clock
+cost of the MNIST accuracy path.  This module provides the standard
+SC-simulator remedy: bits are packed 64-per-``uint64`` word and every gate of
+the stochastic datapath becomes a word-level bitwise operation, so one numpy
+instruction simulates 64 clock cycles of 1 gate (or, on batched arrays, 64
+cycles of thousands of gates).
+
+Layout
+------
+A stream of ``n_bits`` bits occupies ``ceil(n_bits / 64)`` words.  Bit ``i``
+of the stream lives in word ``i // 64`` at bit position ``i % 64`` (LSB
+first), which is exactly what ``np.packbits(..., bitorder="little")`` produces
+when the byte array is viewed as little-endian ``uint64``.  Unused positions
+in the final ("tail") word are always zero -- every kernel below preserves
+that invariant, and :class:`PackedBitstream` validates it on construction.
+
+Contents
+--------
+* :func:`pack_bits` / :func:`unpack_bits` -- lossless converters between
+  uint8 bit arrays (last axis = time) and uint64 word arrays;
+* word kernels for the physical gates of SC: AND/OR/XOR/NOT, the MUX adder,
+  the TFF adder (a word-parallel prefix-parity scan), and popcount;
+* :class:`PackedBitstream` -- a drop-in packed counterpart of
+  :class:`~repro.bitstream.bitstream.Bitstream` with ``pack()``/``unpack()``
+  round-tripping.
+
+All batched kernels follow the same convention as the unpacked ones: streams
+live on the *last* axis, which here holds words instead of bits, and an
+explicit ``n_bits`` carries the true stream length.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable
+
+import numpy as np
+
+from .encoding import BIPOLAR, UNIPOLAR, from_probability
+
+__all__ = [
+    "WORD_BITS",
+    "words_for",
+    "pack_bits",
+    "pack_comparator_output",
+    "unpack_bits",
+    "mask_tail",
+    "packed_popcount",
+    "packed_not",
+    "packed_mux",
+    "packed_toggle_states",
+    "packed_tff_add",
+    "packed_or_add",
+    "packed_mux_add",
+    "PackedBitstream",
+]
+
+#: Number of stream bits stored per machine word.
+WORD_BITS = 64
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def words_for(n_bits: int) -> int:
+    """Number of uint64 words needed to hold ``n_bits`` stream bits."""
+    if n_bits < 0:
+        raise ValueError(f"n_bits must be non-negative, got {n_bits}")
+    return (int(n_bits) + WORD_BITS - 1) // WORD_BITS
+
+
+def _as_words(words: np.ndarray) -> np.ndarray:
+    arr = np.asarray(words)
+    if arr.dtype != np.uint64:
+        raise TypeError(f"packed words must be uint64, got {arr.dtype}")
+    return arr
+
+
+def _native_words(byte_view: np.ndarray) -> np.ndarray:
+    """Reinterpret a little-endian byte array as uint64 words."""
+    words = byte_view.view(np.uint64)
+    if sys.byteorder == "big":  # pragma: no cover - exercised on s390x etc. only
+        words = words.byteswap()
+    return words
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a 0/1 bit array (time on the last axis) into uint64 words.
+
+    ``bits`` of shape ``(..., n)`` becomes ``(..., ceil(n / 64))`` words with
+    bit ``i`` stored LSB-first at word ``i // 64``, position ``i % 64``; tail
+    positions are zero.  Accepts uint8 or bool input.
+    """
+    arr = np.asarray(bits)
+    if arr.dtype == np.bool_:
+        arr = arr.view(np.uint8)
+    elif arr.dtype != np.uint8:
+        arr = arr.astype(np.uint8)
+    n = arr.shape[-1]
+    w = words_for(n)
+    packed = np.packbits(arr, axis=-1, bitorder="little")  # (..., ceil(n/8))
+    if packed.shape[-1] == w * 8:
+        byte_view = np.ascontiguousarray(packed)
+    else:
+        byte_view = np.zeros(arr.shape[:-1] + (w * 8,), dtype=np.uint8)
+        byte_view[..., : packed.shape[-1]] = packed
+    return _native_words(byte_view)
+
+
+def pack_comparator_output(
+    reference: np.ndarray, thresholds: np.ndarray
+) -> np.ndarray:
+    """Pack the comparator matrix ``reference < threshold`` straight into words.
+
+    ``reference`` is the 1-D number-source sequence (one value per clock
+    cycle) and ``thresholds`` the target probabilities, any shape; the result
+    has shape ``thresholds.shape + (ceil(len(reference) / 64),)``.  The
+    comparison is evaluated chunk by chunk over the flattened thresholds so
+    the transient unpacked bit matrix stays within a few MiB regardless of
+    batch size.  This is the shared packing core of every SNG-style
+    generator (comparator SNGs, the ramp-compare converter).
+    """
+    reference = np.asarray(reference, dtype=np.float64)
+    thresholds = np.asarray(thresholds, dtype=np.float64)
+    length = reference.shape[-1]
+    flat = thresholds.reshape(-1)
+    words = np.empty((flat.size, words_for(length)), dtype=np.uint64)
+    chunk = max(1, (1 << 23) // max(length, 1))
+    for start in range(0, flat.size, chunk):
+        block = flat[start : start + chunk]
+        words[start : start + chunk] = pack_bits(reference < block[:, np.newaxis])
+    return words.reshape(thresholds.shape + (words.shape[-1],))
+
+
+def unpack_bits(words: np.ndarray, n_bits: int) -> np.ndarray:
+    """Unpack uint64 words back into a uint8 0/1 array of ``n_bits`` bits."""
+    arr = np.ascontiguousarray(_as_words(words))
+    if arr.shape[-1] != words_for(n_bits):
+        raise ValueError(
+            f"expected {words_for(n_bits)} words for {n_bits} bits, "
+            f"got {arr.shape[-1]}"
+        )
+    if n_bits == 0:
+        return np.zeros(arr.shape[:-1] + (0,), dtype=np.uint8)
+    if sys.byteorder == "big":  # pragma: no cover
+        arr = arr.byteswap()
+    byte_view = arr.view(np.uint8)
+    return np.unpackbits(byte_view, axis=-1, bitorder="little", count=n_bits)
+
+
+def mask_tail(words: np.ndarray, n_bits: int) -> np.ndarray:
+    """Zero the unused positions of the tail word (in place; returns ``words``)."""
+    arr = _as_words(words)
+    rem = n_bits % WORD_BITS
+    if rem and arr.shape[-1]:
+        arr[..., -1] &= np.uint64((1 << rem) - 1)
+    return arr
+
+
+if hasattr(np, "bitwise_count"):
+
+    def _word_popcount(words: np.ndarray) -> np.ndarray:
+        return np.bitwise_count(words)
+
+else:  # pragma: no cover - numpy < 2.0 fallback
+    _POPCOUNT_LUT = np.array(
+        [bin(i).count("1") for i in range(256)], dtype=np.uint8
+    )
+
+    def _word_popcount(words: np.ndarray) -> np.ndarray:
+        byte_view = np.ascontiguousarray(words).view(np.uint8)
+        counts = _POPCOUNT_LUT[byte_view]
+        return counts.reshape(words.shape + (8,)).sum(axis=-1)
+
+
+def packed_popcount(words: np.ndarray) -> np.ndarray:
+    """Ones-count of each packed stream (sums the word axis, returns int64)."""
+    return _word_popcount(_as_words(words)).sum(axis=-1, dtype=np.int64)
+
+
+def packed_not(words: np.ndarray, n_bits: int) -> np.ndarray:
+    """Bitwise NOT of packed stream(s), with the tail word re-masked."""
+    return mask_tail(~_as_words(words), n_bits)
+
+
+def packed_mux(select: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Word-level 2:1 multiplexer: ``y`` where ``select`` is 1, else ``x``."""
+    s = _as_words(select)
+    return (_as_words(y) & s) | (_as_words(x) & ~s)
+
+
+def packed_toggle_states(
+    trigger: np.ndarray, n_bits: int, initial_state: int = 0
+) -> np.ndarray:
+    """Packed counterpart of :func:`repro.sc.elements.flipflops.toggle_states`.
+
+    Returns, for every stream position, the TFF state *seen at* that cycle
+    (the parity of trigger ones strictly before it, XOR ``initial_state``).
+    The sequential scan is computed without unpacking: an in-word prefix-XOR
+    ladder (log2(64) shifted XORs) produces the inclusive bit-parity prefix of
+    each word, whose top bit is the word's total parity; an exclusive XOR
+    accumulation across the word axis then supplies each word's carry-in.
+    """
+    if initial_state not in (0, 1):
+        raise ValueError(f"initial_state must be 0 or 1, got {initial_state}")
+    t = _as_words(trigger)
+    prefix = t.astype(np.uint64, copy=True)
+    for shift in (1, 2, 4, 8, 16, 32):
+        prefix ^= prefix << np.uint64(shift)
+    # In-word exclusive prefix: shift the inclusive prefix up one position.
+    exclusive = prefix << np.uint64(1)
+    word_parity = prefix >> np.uint64(WORD_BITS - 1)
+    carry = np.bitwise_xor.accumulate(word_parity, axis=-1) ^ word_parity
+    flip = (carry ^ np.uint64(initial_state)) & np.uint64(1)
+    state = exclusive ^ (flip * _ALL_ONES)
+    return mask_tail(state, n_bits)
+
+
+def packed_tff_add(
+    x: np.ndarray, y: np.ndarray, n_bits: int, initial_state: int = 0
+) -> np.ndarray:
+    """Packed TFF-based scaled addition, bit-identical to :func:`tff_add`."""
+    xw = _as_words(x)
+    disagree = xw ^ _as_words(y)
+    state = packed_toggle_states(disagree, n_bits, initial_state)
+    return (state & disagree) | (xw & ~disagree)
+
+
+def packed_or_add(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Packed OR-gate approximate adder."""
+    return _as_words(x) | _as_words(y)
+
+
+def packed_mux_add(x: np.ndarray, y: np.ndarray, select: np.ndarray) -> np.ndarray:
+    """Packed multiplexer-based scaled adder, bit-identical to :func:`mux_add`."""
+    return packed_mux(select, x, y)
+
+
+@dataclass(frozen=True)
+class PackedBitstream:
+    """A finite stochastic bit-stream stored 64 bits per ``uint64`` word.
+
+    The packed counterpart of :class:`~repro.bitstream.bitstream.Bitstream`:
+    same value semantics (``ones / length`` density under a unipolar or
+    bipolar interpretation), ~8x smaller storage and word-parallel logic
+    operators.  Use :meth:`Bitstream.pack` / :meth:`unpack` to convert
+    losslessly between the two representations.
+
+    Parameters
+    ----------
+    words:
+        1-D uint64 array of ``ceil(n_bits / 64)`` words, LSB-first bit order,
+        with all tail positions zero.
+    n_bits:
+        The stream length in bits (clock cycles).
+    encoding:
+        ``"unipolar"`` (default) or ``"bipolar"``.
+    """
+
+    words: np.ndarray
+    n_bits: int
+    encoding: str = UNIPOLAR
+
+    def __init__(
+        self, words: np.ndarray, n_bits: int, encoding: str = UNIPOLAR
+    ) -> None:
+        if encoding not in (UNIPOLAR, BIPOLAR):
+            raise ValueError(f"unknown encoding {encoding!r}")
+        arr = np.asarray(words)
+        if arr.dtype != np.uint64:
+            raise TypeError(f"words must be uint64, got {arr.dtype}")
+        if arr.ndim != 1:
+            raise ValueError(f"words must be one-dimensional, got shape {arr.shape}")
+        n_bits = int(n_bits)
+        if arr.shape[0] != words_for(n_bits):
+            raise ValueError(
+                f"expected {words_for(n_bits)} words for {n_bits} bits, "
+                f"got {arr.shape[0]}"
+            )
+        rem = n_bits % WORD_BITS
+        if rem and arr.shape[0] and int(arr[-1] >> np.uint64(rem)) != 0:
+            raise ValueError(
+                "stray bits beyond the stream length in the tail word; "
+                "use pack_bits()/mask_tail() to build well-formed words"
+            )
+        # Copy like the unpacked Bitstream does: the frozen value object must
+        # not alias caller-owned storage, or external writes would bypass the
+        # tail invariant just checked and change the hash under a dict key.
+        object.__setattr__(self, "words", arr.copy())
+        object.__setattr__(self, "n_bits", n_bits)
+        object.__setattr__(self, "encoding", encoding)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_bits(
+        cls, bits, encoding: str | None = None
+    ) -> "PackedBitstream":
+        """Build from any container :class:`Bitstream` accepts (string, 0/1 array...).
+
+        When ``bits`` is already a :class:`Bitstream` its encoding is kept
+        unless ``encoding`` is given explicitly; raw containers default to
+        unipolar, as everywhere else.
+        """
+        from .bitstream import Bitstream
+
+        if isinstance(bits, Bitstream):
+            stream = bits
+            if encoding is None:
+                encoding = stream.encoding
+        else:
+            if encoding is None:
+                encoding = UNIPOLAR
+            stream = Bitstream(bits, encoding)
+        return cls(pack_bits(stream.bits), len(stream), encoding=encoding)
+
+    @classmethod
+    def all_zeros(cls, length: int, encoding: str = UNIPOLAR) -> "PackedBitstream":
+        """An all-zero stream (unipolar value 0, bipolar value -1)."""
+        return cls(np.zeros(words_for(length), dtype=np.uint64), length, encoding)
+
+    @classmethod
+    def all_ones(cls, length: int, encoding: str = UNIPOLAR) -> "PackedBitstream":
+        """An all-one stream (unipolar value 1, bipolar value +1)."""
+        words = np.full(words_for(length), _ALL_ONES, dtype=np.uint64)
+        return cls(mask_tail(words, length), length, encoding)
+
+    @classmethod
+    def from_exact(
+        cls, value: float, length: int, encoding: str = UNIPOLAR
+    ) -> "PackedBitstream":
+        """Packed version of :meth:`Bitstream.from_exact` (same rounding)."""
+        from .bitstream import Bitstream
+
+        return Bitstream.from_exact(value, length, encoding).pack()
+
+    @classmethod
+    def from_random(
+        cls,
+        value: float,
+        length: int,
+        rng: np.random.Generator | int | None = None,
+        encoding: str = UNIPOLAR,
+    ) -> "PackedBitstream":
+        """Packed version of :meth:`Bitstream.from_random` (same bit sequence)."""
+        from .bitstream import Bitstream
+
+        return Bitstream.from_random(value, length, rng=rng, encoding=encoding).pack()
+
+    def unpack(self):
+        """The lossless unpacked :class:`Bitstream` with the same bits."""
+        from .bitstream import Bitstream
+
+        return Bitstream(unpack_bits(self.words, self.n_bits), self.encoding)
+
+    # ------------------------------------------------------------------ #
+    # interpretation
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self.n_bits
+
+    @property
+    def length(self) -> int:
+        """Number of bits (clock cycles) in the stream."""
+        return self.n_bits
+
+    @property
+    def ones(self) -> int:
+        """Number of ``1`` bits in the stream (word-level popcount)."""
+        return int(packed_popcount(self.words))
+
+    @property
+    def probability(self) -> float:
+        """Empirical ones-density ``ones / length``."""
+        if self.n_bits == 0:
+            raise ValueError("empty bit-stream has no probability")
+        return self.ones / self.n_bits
+
+    @property
+    def exact_value(self) -> Fraction:
+        """The encoded value as an exact rational number."""
+        p = Fraction(self.ones, self.n_bits)
+        if self.encoding == UNIPOLAR:
+            return p
+        return 2 * p - 1
+
+    @property
+    def value(self) -> float:
+        """The encoded value as a float (unipolar ``p`` or bipolar ``2p - 1``)."""
+        return float(from_probability(self.probability, self.encoding))
+
+    def as_encoding(self, encoding: str) -> "PackedBitstream":
+        """Return the same bits re-interpreted under another encoding."""
+        return PackedBitstream(self.words, self.n_bits, encoding=encoding)
+
+    # ------------------------------------------------------------------ #
+    # elementwise logic (word-parallel gates)
+    # ------------------------------------------------------------------ #
+    def _binary_op(self, other: "PackedBitstream", op) -> "PackedBitstream":
+        if not isinstance(other, PackedBitstream):
+            raise TypeError(
+                f"expected PackedBitstream, got {type(other).__name__}"
+            )
+        if other.n_bits != self.n_bits:
+            raise ValueError(
+                f"length mismatch: {self.n_bits} vs {other.n_bits} bits"
+            )
+        return PackedBitstream(op(self.words, other.words), self.n_bits, self.encoding)
+
+    def __and__(self, other: "PackedBitstream") -> "PackedBitstream":
+        return self._binary_op(other, np.bitwise_and)
+
+    def __or__(self, other: "PackedBitstream") -> "PackedBitstream":
+        return self._binary_op(other, np.bitwise_or)
+
+    def __xor__(self, other: "PackedBitstream") -> "PackedBitstream":
+        return self._binary_op(other, np.bitwise_xor)
+
+    def __invert__(self) -> "PackedBitstream":
+        return PackedBitstream(
+            packed_not(self.words, self.n_bits), self.n_bits, self.encoding
+        )
+
+    # ------------------------------------------------------------------ #
+    # manipulation helpers (value-preserving, as in the unpacked class)
+    # ------------------------------------------------------------------ #
+    def repeat(self, times: int) -> "PackedBitstream":
+        """Concatenate ``times`` copies of the stream (longer observation)."""
+        if times < 1:
+            raise ValueError("times must be >= 1")
+        if self.n_bits % WORD_BITS == 0:
+            return PackedBitstream(
+                np.tile(self.words, times), self.n_bits * times, self.encoding
+            )
+        # A tail that is not word-aligned shifts on every copy; go through the
+        # unpacked representation (these helpers are not on the hot path).
+        return self.unpack().repeat(times).pack()
+
+    def rotate(self, shift: int) -> "PackedBitstream":
+        """Circularly rotate the stream by ``shift`` positions."""
+        return self.unpack().rotate(shift).pack()
+
+    def permute(
+        self, rng: np.random.Generator | int | None = None
+    ) -> "PackedBitstream":
+        """Randomly permute bit positions (value preserved, correlation broken)."""
+        return self.unpack().permute(rng=rng).pack()
+
+    def to_string(self, group: int = 4) -> str:
+        """Render as a grouped ``"0110 0011"`` string like the paper's figures."""
+        return self.unpack().to_string(group=group)
+
+    def __iter__(self) -> Iterable[int]:
+        return iter(self.unpack())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PackedBitstream):
+            return NotImplemented
+        return (
+            self.encoding == other.encoding
+            and self.n_bits == other.n_bits
+            and bool(np.array_equal(self.words, other.words))
+        )
+
+    def __hash__(self) -> int:  # frozen dataclass with ndarray needs a manual hash
+        return hash((self.encoding, self.n_bits, self.words.tobytes()))
+
+    def __repr__(self) -> str:
+        if self.n_bits <= 32:
+            preview = self.to_string()
+        else:
+            preview = self.to_string()[:40] + "..."
+        value = f"{self.value:.6g}" if self.n_bits else "nan"
+        return (
+            f"PackedBitstream({preview!r}, encoding={self.encoding!r}, "
+            f"value={value}, length={self.n_bits})"
+        )

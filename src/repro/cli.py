@@ -11,13 +11,17 @@ Usage (after ``pip install -e .``):
 
 The accuracy experiment honours the same environment variables as the
 benchmark suite (REPRO_TRAIN_SIZE, REPRO_TEST_SIZE, REPRO_BITEXACT,
-REPRO_EVAL_IMAGES).
+REPRO_EVAL_IMAGES, REPRO_BACKEND).  ``table1``, ``table2`` and ``accuracy``
+accept ``--backend {packed,unpacked}`` to select the bit-level simulation
+backend (both produce bit-identical numbers; packed is ~10x faster).
 """
 
 from __future__ import annotations
 
 import argparse
 from typing import Optional, Sequence
+
+from .sc import BACKENDS, resolve_backend
 
 from .eval import (
     AccuracyConfig,
@@ -54,14 +58,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_backend(subparser: argparse.ArgumentParser) -> None:
+        # No hard-coded default: an omitted flag defers to REPRO_BACKEND
+        # (then "packed"), while an explicit flag beats the environment.
+        subparser.add_argument(
+            "--backend", choices=BACKENDS, default=None,
+            help="bit-level simulation backend (both are bit-identical; "
+                 "packed is ~10x faster; default: $REPRO_BACKEND or packed)",
+        )
+
     table1 = sub.add_parser("table1", help="stochastic multiplier MSE (Table 1)")
     table1.add_argument(
         "--precisions", type=_parse_precisions, default=(8, 4),
         help="comma-separated precisions, e.g. 8,4",
     )
+    add_backend(table1)
 
     table2 = sub.add_parser("table2", help="stochastic adder MSE (Table 2)")
     table2.add_argument("--precisions", type=_parse_precisions, default=(8, 4))
+    add_backend(table2)
 
     hardware = sub.add_parser("hardware", help="power / energy / area (Table 3 bottom)")
     hardware.add_argument("--precisions", type=_parse_precisions, default=(8, 7, 6, 5, 4, 3, 2))
@@ -79,10 +94,19 @@ def build_parser() -> argparse.ArgumentParser:
     accuracy.add_argument("--quick", action="store_true", help="small smoke-test configuration")
     accuracy.add_argument("--no-retrain-row", action="store_true",
                           help="also report the no-retraining ablation row")
+    add_backend(accuracy)
 
     claims = sub.add_parser("claims", help="headline-claim summary (hardware only)")
     claims.add_argument("--raw", action="store_true")
     return parser
+
+
+def _resolve_backend(arg: Optional[str]) -> str:
+    """CLI wrapper for :func:`repro.sc.resolve_backend`: fail with a clean message."""
+    try:
+        return resolve_backend(arg)
+    except ValueError as exc:
+        raise SystemExit(f"repro: error: {exc}") from exc
 
 
 def _accuracy_config(args: argparse.Namespace) -> AccuracyConfig:
@@ -94,6 +118,7 @@ def _accuracy_config(args: argparse.Namespace) -> AccuracyConfig:
             baseline_epochs=2,
             retrain_epochs=1,
             include_no_retrain=args.no_retrain_row,
+            backend=_resolve_backend(args.backend),
         )
     return AccuracyConfig(
         precisions=args.precisions,
@@ -102,6 +127,7 @@ def _accuracy_config(args: argparse.Namespace) -> AccuracyConfig:
         baseline_epochs=args.epochs,
         retrain_epochs=args.retrain_epochs,
         include_no_retrain=args.no_retrain_row,
+        backend=_resolve_backend(args.backend),
     )
 
 
@@ -110,9 +136,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.command == "table1":
-        print(format_table1(run_table1(precisions=args.precisions)))
+        backend = _resolve_backend(args.backend)
+        print(format_table1(run_table1(precisions=args.precisions, backend=backend)))
     elif args.command == "table2":
-        print(format_table2(run_table2(precisions=args.precisions)))
+        backend = _resolve_backend(args.backend)
+        print(format_table2(run_table2(precisions=args.precisions, backend=backend)))
     elif args.command == "hardware":
         result = run_table3_hardware(precisions=args.precisions, calibrate=not args.raw)
         print(format_table3_hardware(result))

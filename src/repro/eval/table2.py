@@ -23,7 +23,14 @@ from typing import Dict, Sequence
 import numpy as np
 
 from ..bitstream import stream_length
+from ..bitstream.packed import (
+    pack_bits,
+    packed_mux_add,
+    packed_popcount,
+    packed_tff_add,
+)
 from ..rng import ComparatorSNG, LFSRSource, PseudoRandomSource, SobolSource, VanDerCorputSource
+from ..sc.dotproduct import resolve_backend
 from ..sc.elements.adders import mux_add, tff_add
 
 __all__ = ["ADDER_CONFIGS", "Table2Result", "adder_mse", "run_table2"]
@@ -82,36 +89,65 @@ def _select_bits(config: str, precision: int, length: int, seed: int) -> np.ndar
     return (np.arange(length, dtype=np.int64) & 1).astype(np.uint8)
 
 
-def adder_mse(config: str, precision: int, seed: int = 1) -> float:
-    """Exhaustive MSE of one adder configuration at one precision."""
+def adder_mse(
+    config: str, precision: int, seed: int = 1, backend: str | None = None
+) -> float:
+    """Exhaustive MSE of one adder configuration at one precision.
+
+    Both backends evaluate the same generated bits (the packed TFF/MUX word
+    kernels are bit-identical to the byte-level ones), so the MSE does not
+    depend on ``backend`` -- only the sweep's speed and memory footprint do.
+    ``None`` defers to REPRO_BACKEND, then "packed".
+    """
     if config not in ADDER_CONFIGS:
         raise ValueError(f"unknown adder config {config!r}; expected {sorted(ADDER_CONFIGS)}")
+    backend = resolve_backend(backend)
     n = stream_length(precision)
     values = np.arange(n + 1, dtype=np.float64) / n
     sng_x, sng_y = _data_generators(config, precision, seed)
-    x_bits = sng_x.generate_bits(values, n)
-    y_bits = sng_y.generate_bits(values, n)
-    x_all = np.broadcast_to(x_bits[:, np.newaxis, :], (n + 1, n + 1, n))
-    y_all = np.broadcast_to(y_bits[np.newaxis, :, :], (n + 1, n + 1, n))
 
-    if config == "new_tff":
-        sums = tff_add(np.ascontiguousarray(x_all), np.ascontiguousarray(y_all))
+    if backend == "packed":
+        x_words = sng_x.generate_packed(values, n)  # (n+1, W)
+        y_words = sng_y.generate_packed(values, n)
+        x_all = np.broadcast_to(
+            x_words[:, np.newaxis, :], (n + 1, n + 1, x_words.shape[-1])
+        )
+        y_all = np.broadcast_to(
+            y_words[np.newaxis, :, :], (n + 1, n + 1, y_words.shape[-1])
+        )
+        if config == "new_tff":
+            sums_words = packed_tff_add(x_all, y_all, n)
+        else:
+            select = pack_bits(_select_bits(config, precision, n, seed))
+            sums_words = packed_mux_add(x_all, y_all, select)
+        estimates = packed_popcount(sums_words) / n
     else:
-        select = _select_bits(config, precision, n, seed)
-        sums = mux_add(x_all, y_all, select)
-    estimates = np.asarray(sums).sum(axis=-1, dtype=np.int64) / n
+        x_bits = sng_x.generate_bits(values, n)
+        y_bits = sng_y.generate_bits(values, n)
+        x_all = np.broadcast_to(x_bits[:, np.newaxis, :], (n + 1, n + 1, n))
+        y_all = np.broadcast_to(y_bits[np.newaxis, :, :], (n + 1, n + 1, n))
+        if config == "new_tff":
+            sums = tff_add(np.ascontiguousarray(x_all), np.ascontiguousarray(y_all))
+        else:
+            select = _select_bits(config, precision, n, seed)
+            sums = mux_add(x_all, y_all, select)
+        estimates = np.asarray(sums).sum(axis=-1, dtype=np.int64) / n
     exact = 0.5 * (values[:, np.newaxis] + values[np.newaxis, :])
     return float(np.mean((estimates - exact) ** 2))
 
 
 def run_table2(
-    precisions: Sequence[int] = (8, 4), configs: Sequence[str] | None = None, seed: int = 1
+    precisions: Sequence[int] = (8, 4),
+    configs: Sequence[str] | None = None,
+    seed: int = 1,
+    backend: str | None = None,
 ) -> Table2Result:
     """Reproduce Table 2 for the requested precisions and adder configurations."""
     configs = list(configs) if configs is not None else list(ADDER_CONFIGS)
     mse: Dict[str, Dict[int, float]] = {}
     for config in configs:
         mse[config] = {
-            precision: adder_mse(config, precision, seed=seed) for precision in precisions
+            precision: adder_mse(config, precision, seed=seed, backend=backend)
+            for precision in precisions
         }
     return Table2Result(mse=mse, precisions=tuple(precisions))

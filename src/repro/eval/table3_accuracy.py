@@ -29,7 +29,7 @@ import numpy as np
 from ..datasets import load_dataset
 from ..hybrid import HybridStochasticBinaryNetwork
 from ..nn import Adam, Sequential, build_lenet5_small, quantize_and_freeze, retrain
-from ..sc import new_sc_engine, old_sc_engine
+from ..sc import new_sc_engine, old_sc_engine, resolve_backend
 
 __all__ = ["AccuracyConfig", "Table3AccuracyResult", "run_table3_accuracy"]
 
@@ -56,6 +56,12 @@ class AccuracyConfig:
     sc_eval_images: Optional[int] = None
     #: Soft-threshold level for the stochastic sign activation (fraction of range).
     soft_threshold: float = 0.02
+    #: Bit-level simulation backend for the stochastic engines: "packed"
+    #: (64 bits per word) or "unpacked" (byte per bit).  Both are bit-order
+    #: exact, so the reported rates are identical.  None (the default)
+    #: resolves to the REPRO_BACKEND environment variable, falling back to
+    #: "packed"; an explicitly passed value always wins over the environment.
+    backend: Optional[str] = None
     #: Retrain the binary remainder against a first layer that emulates the
     #: stochastic engine's resolution (input quantization + counter LSBs) for
     #: the stochastic rows, per the paper's "compensate for precision losses
@@ -71,6 +77,7 @@ class AccuracyConfig:
             raise ValueError("sc_mode must be 'emulate' or 'bitexact'")
         if os.environ.get("REPRO_BITEXACT") == "1":
             self.sc_mode = "bitexact"
+        self.backend = resolve_backend(self.backend)
         if self.sc_eval_images is None:
             env = os.environ.get("REPRO_EVAL_IMAGES")
             if env is not None:
@@ -182,7 +189,9 @@ def run_table3_accuracy(config: Optional[AccuracyConfig] = None) -> Table3Accura
         ):
             hybrid = HybridStochasticBinaryNetwork(
                 sc_model,
-                engine=engine_factory(precision, seed=config.seed + 1),
+                engine=engine_factory(
+                    precision, seed=config.seed + 1, backend=config.backend
+                ),
                 soft_threshold=config.soft_threshold,
                 seed=config.seed,
             )

@@ -107,12 +107,13 @@ class CalibratedSCEmulator:
         if sample_inputs.shape[1] != sample_weights.shape[1]:
             raise ValueError("tap count mismatch between inputs and weights")
 
-        x_bits = self.engine.input_streams(sample_inputs)
+        # Bit-exact reference evaluation through the engine's active backend
+        # (packed words by default; identical counts either way).
+        x_streams = self.engine.prepare_inputs(sample_inputs)
 
         residuals = []
         for kernel in sample_weights:
-            w_pos_bits, w_neg_bits = self.engine.weight_streams(kernel)
-            result = self.engine.dot_from_streams(x_bits, w_pos_bits, w_neg_bits)
+            result = self.engine.dot_prepared(x_streams, kernel)
             exact_diff = result.positive_count - result.negative_count
             ideal_diff = self._ideal_difference(sample_inputs, kernel)
             residuals.append(exact_diff - ideal_diff)

@@ -16,6 +16,11 @@ The class supports three evaluation modes for the first layer:
 * ``"bitexact"``  -- full bit-level stochastic simulation (ground truth);
 * ``"emulate"``   -- the calibrated fast emulator
                      (:mod:`repro.hybrid.emulation`).
+
+Bit-level simulation runs on the engine's selected ``backend``: the default
+packed backend stores 64 stream bits per machine word (an order of magnitude
+faster, bit-identical counters), while ``backend="unpacked"`` keeps the
+byte-per-bit reference arrays (see :mod:`repro.bitstream.packed`).
 """
 
 from __future__ import annotations
@@ -132,6 +137,11 @@ class HybridStochasticBinaryNetwork:
     def precision(self) -> int:
         """Bit precision of the stochastic first layer."""
         return self.engine.precision
+
+    @property
+    def backend(self) -> str:
+        """Simulation backend of the stochastic engine ("packed" or "unpacked")."""
+        return self.engine.backend
 
     # ------------------------------------------------------------------ #
     # first-layer evaluation modes

@@ -15,7 +15,12 @@ from .lowdiscrepancy import (
     bit_reverse,
     van_der_corput,
 )
-from .ramp import RampSource, ramp_compare_batch, ramp_compare_stream
+from .ramp import (
+    RampSource,
+    ramp_compare_batch,
+    ramp_compare_packed,
+    ramp_compare_stream,
+)
 from .sng import TABLE1_SCHEMES, ComparatorSNG, RampCompareSNG, sng_pair
 from .sources import ConstantSource, CounterSource, NumberSource, PseudoRandomSource
 
@@ -38,6 +43,7 @@ __all__ = [
     "RampSource",
     "ramp_compare_stream",
     "ramp_compare_batch",
+    "ramp_compare_packed",
     "ComparatorSNG",
     "RampCompareSNG",
     "sng_pair",

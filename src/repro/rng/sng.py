@@ -21,6 +21,7 @@ from typing import Tuple
 import numpy as np
 
 from ..bitstream import Bitstream, to_probability
+from ..bitstream.packed import pack_comparator_output
 from .lfsr import ALTERNATE_TAPS, LFSRSource, RotatedLFSRSource
 from .lowdiscrepancy import SobolSource, VanDerCorputSource
 from .ramp import RampSource
@@ -66,6 +67,18 @@ class ComparatorSNG:
         p = to_probability(np.asarray(values, dtype=np.float64), self.encoding)
         ref = self.source.sequence(length)
         return (ref < p[..., np.newaxis]).astype(np.uint8)
+
+    def generate_packed(self, values: np.ndarray, length: int) -> np.ndarray:
+        """Vectorized generation straight into packed words.
+
+        Returns uint64 words of shape ``values.shape + (ceil(length / 64),)``
+        holding exactly the bits :meth:`generate_bits` would produce, packed
+        64-per-word (see :mod:`repro.bitstream.packed`).  The comparator
+        output is packed chunk by chunk so the transient unpacked bits never
+        exceed a few MiB regardless of batch size.
+        """
+        p = to_probability(np.asarray(values, dtype=np.float64), self.encoding)
+        return pack_comparator_output(self.source.sequence(length), p)
 
     def __repr__(self) -> str:
         return f"ComparatorSNG(source={self.source!r}, encoding={self.encoding!r})"

@@ -123,16 +123,16 @@ class StochasticConv2D:
         patches = extract_patches(images, (kh, kw), self.stride, self.padding)
         batch, n_patches, taps = patches.shape
 
-        # Generate the input bit-streams once; they are shared by all kernels,
+        # Generate the input bit-streams once (packed words or uint8 bits,
+        # depending on the engine backend); they are shared by all kernels,
         # exactly as the sensor-side converters are shared in hardware.
-        x_bits = self.engine.input_streams(patches)
+        x_streams = self.engine.prepare_inputs(patches)
 
         pos = np.empty((batch, n_patches, self.filters), dtype=np.int64)
         neg = np.empty_like(pos)
         flat_kernels = self.kernels.reshape(self.filters, taps)
         for f in range(self.filters):
-            w_pos_bits, w_neg_bits = self.engine.weight_streams(flat_kernels[f])
-            result = self.engine.dot_from_streams(x_bits, w_pos_bits, w_neg_bits)
+            result = self.engine.dot_prepared(x_streams, flat_kernels[f])
             pos[:, :, f] = result.positive_count
             neg[:, :, f] = result.negative_count
 

@@ -24,25 +24,66 @@ baseline in Table 3).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Callable, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
 from ..bitstream import stream_length
-from ..rng import ComparatorSNG, LFSRSource, VanDerCorputSource, ramp_compare_batch
+from ..bitstream.packed import packed_popcount
+from ..rng import (
+    ComparatorSNG,
+    LFSRSource,
+    VanDerCorputSource,
+    ramp_compare_batch,
+    ramp_compare_packed,
+)
 from .elements.adders import AdderTree, MuxAdder, OrAdder, TffAdder
 from .elements.converters import count_ones, sign_from_counts
 from .elements.util import as_bits
 
 __all__ = [
+    "BACKENDS",
+    "resolve_backend",
+    "validate_backend",
     "split_weights",
     "stochastic_dot_product",
+    "stochastic_dot_product_packed",
     "DotProductResult",
     "StochasticDotProductEngine",
     "new_sc_engine",
     "old_sc_engine",
 ]
+
+#: Supported simulation backends: ``"packed"`` stores 64 stream bits per
+#: uint64 word and runs word-level kernels (bit-identical results, roughly an
+#: order of magnitude faster); ``"unpacked"`` keeps one uint8 byte per bit.
+BACKENDS = ("packed", "unpacked")
+
+
+def validate_backend(backend: str) -> str:
+    """Raise ``ValueError`` unless ``backend`` names a supported backend."""
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Resolve and validate a backend choice.
+
+    Precedence: an explicitly passed value beats the ``REPRO_BACKEND``
+    environment variable, which beats the ``"packed"`` default.  This is the
+    single resolution rule shared by the CLI and the experiment configs.
+    Only ``None`` defers to the environment -- an explicit empty string is
+    rejected like any other invalid name -- while an empty/unset environment
+    variable falls back to the default.
+    """
+    if backend is None:
+        backend = os.environ.get("REPRO_BACKEND") or "packed"
+    return validate_backend(backend)
 
 
 def split_weights(weights: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -90,6 +131,25 @@ def stochastic_dot_product(
     return count_ones(summed)
 
 
+def stochastic_dot_product_packed(
+    x_words: np.ndarray,
+    w_words: np.ndarray,
+    n_bits: int,
+    adder_factory: Callable[[], object] = TffAdder,
+) -> np.ndarray:
+    """Packed-word counterpart of :func:`stochastic_dot_product`.
+
+    ``x_words`` has shape ``(..., k, W)`` and ``w_words`` broadcasts to it,
+    where ``W = ceil(n_bits / 64)`` uint64 words per stream (see
+    :mod:`repro.bitstream.packed`).  Produces bit-identical ones-counts to the
+    unpacked kernel while simulating 64 clock cycles per word operation.
+    """
+    products = np.asarray(x_words) & np.asarray(w_words)
+    tree = AdderTree(adder_factory)
+    summed = tree.reduce_packed(products, n_bits)
+    return packed_popcount(summed)
+
+
 @dataclass
 class DotProductResult:
     """Outputs of one batch of stochastic dot products."""
@@ -133,6 +193,13 @@ class StochasticDotProductEngine:
         ``"lowdisc"`` (this work) or ``"lfsr"`` (old designs).
     seed:
         Seed for LFSR-based and MUX-select sources.
+    backend:
+        ``"packed"`` simulates with 64-bits-per-word kernels; ``"unpacked"``
+        keeps the one-byte-per-bit arrays.  Both backends are bit-order exact
+        -- they produce identical counter values for every configuration --
+        so the choice only affects speed and memory.  ``None`` (the default)
+        resolves to the ``REPRO_BACKEND`` environment variable, falling back
+        to ``"packed"`` (see :func:`resolve_backend`).
     """
 
     precision: int = 8
@@ -140,6 +207,7 @@ class StochasticDotProductEngine:
     input_generator: str = "ramp"
     weight_generator: str = "lowdisc"
     seed: int = 1
+    backend: Optional[str] = None
     _mux_seed_counter: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
@@ -151,6 +219,7 @@ class StochasticDotProductEngine:
             raise ValueError(f"unknown input generator {self.input_generator!r}")
         if self.weight_generator not in ("lowdisc", "lfsr"):
             raise ValueError(f"unknown weight generator {self.weight_generator!r}")
+        self.backend = resolve_backend(self.backend)
 
     # ------------------------------------------------------------------ #
     # stream generation
@@ -165,24 +234,64 @@ class StochasticDotProductEngine:
         values = np.asarray(values, dtype=np.float64)
         if self.input_generator == "ramp":
             return ramp_compare_batch(values, self.length)
+        return self._input_sng().generate_bits(values, self.length)
+
+    def input_words(self, values: np.ndarray) -> np.ndarray:
+        """Packed variant of :meth:`input_streams`: shape ``(..., ceil(N/64))`` uint64."""
+        values = np.asarray(values, dtype=np.float64)
+        if self.input_generator == "ramp":
+            return ramp_compare_packed(values, self.length)
+        return self._input_sng().generate_packed(values, self.length)
+
+    def _input_sng(self) -> ComparatorSNG:
         if self.input_generator == "lfsr":
-            sng = ComparatorSNG(LFSRSource(self.precision, seed=self.seed))
-        else:
-            sng = ComparatorSNG(VanDerCorputSource(self.precision))
-        return sng.generate_bits(values, self.length)
+            return ComparatorSNG(LFSRSource(self.precision, seed=self.seed))
+        return ComparatorSNG(VanDerCorputSource(self.precision))
+
+    def _weight_sng(self) -> ComparatorSNG:
+        if self.weight_generator == "lowdisc":
+            return ComparatorSNG(VanDerCorputSource(self.precision))
+        return ComparatorSNG(
+            LFSRSource(self.precision, seed=(self.seed * 3 + 1) % 255 or 1)
+        )
 
     def weight_streams(self, weights: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Generate positive and negative weight bit arrays (shape ``w.shape + (N,)``)."""
         w_pos, w_neg = split_weights(weights)
-        if self.weight_generator == "lowdisc":
-            sng = ComparatorSNG(VanDerCorputSource(self.precision))
-        else:
-            sng = ComparatorSNG(
-                LFSRSource(self.precision, seed=(self.seed * 3 + 1) % 255 or 1)
-            )
+        sng = self._weight_sng()
         return sng.generate_bits(w_pos, self.length), sng.generate_bits(
             w_neg, self.length
         )
+
+    def weight_words(self, weights: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Packed variant of :meth:`weight_streams` (uint64 words per stream)."""
+        w_pos, w_neg = split_weights(weights)
+        sng = self._weight_sng()
+        return sng.generate_packed(w_pos, self.length), sng.generate_packed(
+            w_neg, self.length
+        )
+
+    def prepare_inputs(self, values: np.ndarray) -> np.ndarray:
+        """Generate input streams in the active backend's representation.
+
+        The returned array is meant to be passed to :meth:`dot_prepared`
+        (possibly many times, e.g. once per convolution kernel); its layout --
+        uint8 bits or uint64 words on the last axis -- depends on
+        :attr:`backend`, so treat it as opaque.
+        """
+        if self.backend == "packed":
+            return self.input_words(values)
+        return self.input_streams(values)
+
+    def dot_prepared(
+        self, prepared: np.ndarray, weights: np.ndarray
+    ) -> DotProductResult:
+        """Dot product of :meth:`prepare_inputs` output with fresh weight streams."""
+        if self.backend == "packed":
+            w_pos, w_neg = self.weight_words(weights)
+            return self.dot_from_packed(prepared, w_pos, w_neg)
+        w_pos, w_neg = self.weight_streams(weights)
+        return self.dot_from_streams(prepared, w_pos, w_neg)
 
     def _adder_factory(self) -> Callable[[], object]:
         if self.adder == "tff":
@@ -214,9 +323,7 @@ class StochasticDotProductEngine:
                 f"tap count mismatch: inputs have {x.shape[-1]}, "
                 f"weights have {weights.shape[-1]}"
             )
-        x_bits = self.input_streams(x)
-        w_pos_bits, w_neg_bits = self.weight_streams(weights)
-        return self.dot_from_streams(x_bits, w_pos_bits, w_neg_bits)
+        return self.dot_prepared(self.prepare_inputs(x), weights)
 
     def dot_from_streams(
         self,
@@ -232,17 +339,41 @@ class StochasticDotProductEngine:
         factory = self._adder_factory()
         pos = stochastic_dot_product(x_bits, w_pos_bits, factory)
         neg = stochastic_dot_product(x_bits, w_neg_bits, factory)
-        taps = x_bits.shape[-2]
-        tree_scale = 1 << AdderTree().depth(taps)
+        return self._dot_result(pos, neg, np.asarray(x_bits).shape[-2])
+
+    def dot_from_packed(
+        self,
+        x_words: np.ndarray,
+        w_pos_words: np.ndarray,
+        w_neg_words: np.ndarray,
+    ) -> DotProductResult:
+        """Packed-word counterpart of :meth:`dot_from_streams`.
+
+        All arguments are uint64 word arrays (``(..., k, W)`` inputs, weight
+        arrays broadcastable to them) as produced by :meth:`input_words` and
+        :meth:`weight_words`; the counter values are bit-identical to the
+        unpacked path.
+        """
+        factory = self._adder_factory()
+        pos = stochastic_dot_product_packed(x_words, w_pos_words, self.length, factory)
+        neg = stochastic_dot_product_packed(x_words, w_neg_words, self.length, factory)
+        return self._dot_result(pos, neg, np.asarray(x_words).shape[-2])
+
+    def _dot_result(
+        self, pos: np.ndarray, neg: np.ndarray, taps: int
+    ) -> DotProductResult:
+        """Assemble the result both backends share (single tree_scale rule)."""
         return DotProductResult(
             positive_count=pos,
             negative_count=neg,
             length=self.length,
-            tree_scale=tree_scale,
+            tree_scale=1 << AdderTree().depth(taps),
         )
 
 
-def new_sc_engine(precision: int, seed: int = 1) -> StochasticDotProductEngine:
+def new_sc_engine(
+    precision: int, seed: int = 1, backend: Optional[str] = None
+) -> StochasticDotProductEngine:
     """The paper's proposed configuration: TFF adder, ramp input, low-discrepancy weights."""
     return StochasticDotProductEngine(
         precision=precision,
@@ -250,10 +381,13 @@ def new_sc_engine(precision: int, seed: int = 1) -> StochasticDotProductEngine:
         input_generator="ramp",
         weight_generator="lowdisc",
         seed=seed,
+        backend=backend,
     )
 
 
-def old_sc_engine(precision: int, seed: int = 1) -> StochasticDotProductEngine:
+def old_sc_engine(
+    precision: int, seed: int = 1, backend: Optional[str] = None
+) -> StochasticDotProductEngine:
     """The conventional configuration used as the "Old SC" baseline in Table 3.
 
     MUX adders driven by pseudo-random select streams and LFSR-based SNGs for
@@ -265,4 +399,5 @@ def old_sc_engine(precision: int, seed: int = 1) -> StochasticDotProductEngine:
         input_generator="lfsr",
         weight_generator="lfsr",
         seed=seed,
+        backend=backend,
     )

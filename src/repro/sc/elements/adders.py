@@ -28,6 +28,12 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ...bitstream.packed import (
+    pack_bits,
+    packed_mux_add,
+    packed_or_add,
+    packed_tff_add,
+)
 from ...rng.sources import NumberSource, PseudoRandomSource
 from .flipflops import toggle_states
 from .util import StreamLike, as_bits, check_same_length, wrap_like
@@ -100,6 +106,17 @@ class StochasticAdder:
     def __call__(self, x: StreamLike, y: StreamLike) -> StreamLike:
         raise NotImplementedError
 
+    def packed(self, x: np.ndarray, y: np.ndarray, n_bits: int) -> np.ndarray:
+        """Word-level addition of packed streams, bit-identical to ``__call__``.
+
+        ``x`` and ``y`` are uint64 word arrays (words on the last axis) of
+        ``n_bits``-bit streams, as produced by
+        :func:`repro.bitstream.pack_bits`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no packed fast path"
+        )
+
     def expected(self, px: float, py: float) -> float:
         """Ideal scaled-sum output value for unipolar inputs."""
         return 0.5 * (float(px) + float(py))
@@ -126,6 +143,9 @@ class TffAdder(StochasticAdder):
     def __call__(self, x: StreamLike, y: StreamLike) -> StreamLike:
         return tff_add(x, y, initial_state=self.initial_state)
 
+    def packed(self, x: np.ndarray, y: np.ndarray, n_bits: int) -> np.ndarray:
+        return packed_tff_add(x, y, n_bits, initial_state=self.initial_state)
+
     def __repr__(self) -> str:
         return f"TffAdder(initial_state={self.initial_state})"
 
@@ -137,6 +157,9 @@ class OrAdder(StochasticAdder):
 
     def __call__(self, x: StreamLike, y: StreamLike) -> StreamLike:
         return or_add(x, y)
+
+    def packed(self, x: np.ndarray, y: np.ndarray, n_bits: int) -> np.ndarray:
+        return packed_or_add(x, y)
 
     def expected(self, px: float, py: float) -> float:
         """The OR adder targets the *unscaled* sum, saturating at 1."""
@@ -190,6 +213,10 @@ class MuxAdder(StochasticAdder):
         yb, _ = as_bits(y)
         length = check_same_length(xb, yb)
         return mux_add(x, y, self.select_bits(length))
+
+    def packed(self, x: np.ndarray, y: np.ndarray, n_bits: int) -> np.ndarray:
+        select = pack_bits(self.select_bits(n_bits))
+        return packed_mux_add(x, y, select)
 
     def __repr__(self) -> str:
         if self.toggle_select:
@@ -260,6 +287,29 @@ class AdderTree:
             level = next_level
         del length
         return wrap_like(level[0], template)
+
+    def reduce_packed(self, words: np.ndarray, n_bits: int) -> np.ndarray:
+        """Word-level :meth:`reduce` over packed streams stacked on axis -2.
+
+        ``words`` has shape ``(..., k, W)`` with ``W = ceil(n_bits / 64)``
+        uint64 words per stream.  Nodes are instantiated in exactly the same
+        order as in :meth:`reduce` (level by level, left to right, zero-padded
+        odd levels), so stateful factories -- e.g. per-node MUX select seeds --
+        produce bit-identical trees in both representations.
+        """
+        arr = np.asarray(words)
+        if arr.ndim < 2 or arr.shape[-2] == 0:
+            raise ValueError("stacked input must have shape (..., k, W) with k >= 1")
+        level: List[np.ndarray] = [arr[..., i, :] for i in range(arr.shape[-2])]
+        while len(level) > 1:
+            if len(level) % 2 == 1:
+                level = level + [np.zeros_like(level[0])]
+            next_level = []
+            for i in range(0, len(level), 2):
+                adder = self.adder_factory()
+                next_level.append(adder.packed(level[i], level[i + 1], n_bits))
+            level = next_level
+        return level[0]
 
     def expected(self, values: Sequence[float]) -> float:
         """Ideal output of the tree for unipolar input values."""

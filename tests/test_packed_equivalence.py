@@ -1,0 +1,257 @@
+"""Differential equivalence suite: packed backend vs. the unpacked reference.
+
+Every gate-level identity of the packed word kernels is machine-checked
+against the byte-per-bit :class:`Bitstream` implementation, over randomized
+values and lengths -- including lengths that are not multiples of 64, where
+tail-word handling matters.  The packed backend's claim is *bit-identical*
+output, so every assertion here is exact equality, never approximate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bitstream import (
+    Bitstream,
+    PackedBitstream,
+    pack_bits,
+    packed_mux_add,
+    packed_popcount,
+    packed_tff_add,
+    packed_toggle_states,
+    unpack_bits,
+)
+from repro.sc import (
+    AdderTree,
+    MuxAdder,
+    OrAdder,
+    StochasticConv2D,
+    StochasticDotProductEngine,
+    TffAdder,
+    new_sc_engine,
+    old_sc_engine,
+)
+from repro.sc.dotproduct import stochastic_dot_product, stochastic_dot_product_packed
+from repro.sc.elements.adders import mux_add, tff_add
+from repro.sc.elements.flipflops import toggle_states
+
+#: Lengths exercising empty tails, full words, one-bit tails and long streams.
+LENGTHS = [1, 2, 7, 63, 64, 65, 100, 127, 128, 129, 256, 1000]
+
+
+def random_bits(rng, shape):
+    return rng.integers(0, 2, size=shape).astype(np.uint8)
+
+
+class TestPackUnpackRoundTrip:
+    @pytest.mark.parametrize("length", LENGTHS)
+    def test_array_round_trip(self, length):
+        rng = np.random.default_rng(length)
+        bits = random_bits(rng, (3, 4, length))
+        words = pack_bits(bits)
+        assert words.dtype == np.uint64
+        assert words.shape == (3, 4, (length + 63) // 64)
+        np.testing.assert_array_equal(unpack_bits(words, length), bits)
+
+    @pytest.mark.parametrize("length", LENGTHS)
+    def test_bitstream_round_trip(self, length):
+        rng = np.random.default_rng(length + 1)
+        for value in rng.random(3):
+            stream = Bitstream.from_random(value, length, rng=rng)
+            packed = stream.pack()
+            assert isinstance(packed, PackedBitstream)
+            assert packed.unpack() == stream
+            assert packed.ones == stream.ones
+            assert len(packed) == len(stream)
+
+    def test_round_trip_preserves_encoding(self):
+        stream = Bitstream("0110 1001", encoding="bipolar")
+        assert stream.pack().encoding == "bipolar"
+        assert stream.pack().unpack().encoding == "bipolar"
+        assert stream.pack().value == stream.value
+
+
+class TestGateEquivalence:
+    @pytest.mark.parametrize("length", LENGTHS)
+    def test_and_or_xor_not(self, length):
+        rng = np.random.default_rng(length + 2)
+        x = Bitstream(random_bits(rng, length))
+        y = Bitstream(random_bits(rng, length))
+        xp, yp = x.pack(), y.pack()
+        assert (xp & yp).unpack() == (x & y)
+        assert (xp | yp).unpack() == (x | y)
+        assert (xp ^ yp).unpack() == (x ^ y)
+        assert (~xp).unpack() == ~x
+
+    @pytest.mark.parametrize("length", LENGTHS)
+    @pytest.mark.parametrize("initial_state", [0, 1])
+    def test_toggle_states(self, length, initial_state):
+        rng = np.random.default_rng(length + 3)
+        trigger = random_bits(rng, (2, length))
+        expected = toggle_states(trigger, initial_state)
+        got = unpack_bits(
+            packed_toggle_states(pack_bits(trigger), length, initial_state), length
+        )
+        np.testing.assert_array_equal(got, expected)
+
+    @pytest.mark.parametrize("length", LENGTHS)
+    @pytest.mark.parametrize("initial_state", [0, 1])
+    def test_tff_adder(self, length, initial_state):
+        rng = np.random.default_rng(length + 4)
+        x = random_bits(rng, (3, length))
+        y = random_bits(rng, (3, length))
+        expected = tff_add(x, y, initial_state=initial_state)
+        got = unpack_bits(
+            packed_tff_add(pack_bits(x), pack_bits(y), length, initial_state), length
+        )
+        np.testing.assert_array_equal(got, expected)
+
+    @pytest.mark.parametrize("length", LENGTHS)
+    def test_mux_adder(self, length):
+        rng = np.random.default_rng(length + 5)
+        x = random_bits(rng, (3, length))
+        y = random_bits(rng, (3, length))
+        select = random_bits(rng, length)
+        expected = mux_add(x, y, select)
+        got = unpack_bits(
+            packed_mux_add(pack_bits(x), pack_bits(y), pack_bits(select)), length
+        )
+        np.testing.assert_array_equal(got, expected)
+
+    @pytest.mark.parametrize("length", LENGTHS)
+    def test_popcount(self, length):
+        rng = np.random.default_rng(length + 6)
+        bits = random_bits(rng, (5, length))
+        np.testing.assert_array_equal(
+            packed_popcount(pack_bits(bits)), bits.sum(axis=-1)
+        )
+
+
+class TestAdderTreeEquivalence:
+    @pytest.mark.parametrize("taps", [1, 2, 3, 5, 8, 13])
+    @pytest.mark.parametrize(
+        "factory",
+        [TffAdder, OrAdder, lambda: TffAdder(initial_state=1)],
+        ids=["tff", "or", "tff_init1"],
+    )
+    def test_tree_matches_unpacked(self, taps, factory):
+        rng = np.random.default_rng(taps)
+        length = 200  # not a multiple of 64: exercises the tail at every level
+        streams = random_bits(rng, (4, taps, length))
+        tree = AdderTree(factory)
+        expected = tree.reduce(streams)
+        got = unpack_bits(tree.reduce_packed(pack_bits(streams), length), length)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_mux_tree_with_stateful_factory(self):
+        # Per-node select seeds must be consumed in the same order by both
+        # representations, including the zero-padded node of odd levels.
+        rng = np.random.default_rng(9)
+        length, taps = 192, 5
+
+        def make_factories():
+            counter = [0]
+
+            def factory():
+                counter[0] += 1
+                return MuxAdder(seed=1000 + counter[0])
+
+            return factory
+
+        streams = random_bits(rng, (taps, length))
+        expected = AdderTree(make_factories()).reduce(streams)
+        got = AdderTree(make_factories()).reduce_packed(pack_bits(streams), length)
+        np.testing.assert_array_equal(unpack_bits(got, length), expected)
+
+
+class TestDotProductEquivalence:
+    @pytest.mark.parametrize("adder", [TffAdder, OrAdder])
+    def test_raw_kernel(self, adder):
+        rng = np.random.default_rng(11)
+        x = random_bits(rng, (6, 9, 300))
+        w = random_bits(rng, (9, 300))
+        expected = stochastic_dot_product(x, w, adder)
+        got = stochastic_dot_product_packed(pack_bits(x), pack_bits(w), 300, adder)
+        np.testing.assert_array_equal(got, expected)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(adder="tff", input_generator="ramp", weight_generator="lowdisc"),
+            dict(adder="mux", input_generator="lfsr", weight_generator="lfsr"),
+            dict(adder="or", input_generator="lowdisc", weight_generator="lowdisc"),
+            dict(adder="mux", input_generator="ramp", weight_generator="lfsr"),
+        ],
+        ids=["this_work", "old_sc", "or_lowdisc", "mux_ramp"],
+    )
+    @pytest.mark.parametrize("precision", [4, 6, 8])
+    def test_engine_backends_bit_identical(self, kwargs, precision):
+        rng = np.random.default_rng(precision)
+        x = rng.random((5, 25))
+        w = rng.uniform(-1.0, 1.0, 25)
+        packed = StochasticDotProductEngine(
+            precision=precision, seed=7, backend="packed", **kwargs
+        ).dot(x, w)
+        unpacked = StochasticDotProductEngine(
+            precision=precision, seed=7, backend="unpacked", **kwargs
+        ).dot(x, w)
+        np.testing.assert_array_equal(packed.positive_count, unpacked.positive_count)
+        np.testing.assert_array_equal(packed.negative_count, unpacked.negative_count)
+        np.testing.assert_array_equal(packed.sign, unpacked.sign)
+        assert packed.tree_scale == unpacked.tree_scale
+
+    def test_generate_packed_matches_generate_bits(self):
+        for factory, precision in ((new_sc_engine, 6), (old_sc_engine, 5)):
+            engine = factory(precision, seed=3)
+            values = np.linspace(0.0, 1.0, 7).reshape(7, 1).repeat(2, axis=1)
+            np.testing.assert_array_equal(
+                unpack_bits(engine.input_words(values), engine.length),
+                engine.input_streams(values),
+            )
+            w = np.linspace(-1.0, 1.0, 9)
+            pos_w, neg_w = engine.weight_words(w)
+            pos_b, neg_b = engine.weight_streams(w)
+            np.testing.assert_array_equal(unpack_bits(pos_w, engine.length), pos_b)
+            np.testing.assert_array_equal(unpack_bits(neg_w, engine.length), neg_b)
+
+
+class TestConvolutionEquivalence:
+    @pytest.mark.parametrize("factory", [new_sc_engine, old_sc_engine])
+    def test_backends_produce_identical_maps(self, factory):
+        rng = np.random.default_rng(13)
+        images = rng.random((2, 9, 9))
+        kernels = rng.uniform(-1.0, 1.0, (4, 3, 3))
+        results = {}
+        for backend in ("packed", "unpacked"):
+            layer = StochasticConv2D(
+                kernels,
+                engine=factory(5, seed=2, backend=backend),
+                padding=1,
+                soft_threshold=0.02,
+            )
+            results[backend] = layer.forward(images)
+        np.testing.assert_array_equal(
+            results["packed"].positive_count, results["unpacked"].positive_count
+        )
+        np.testing.assert_array_equal(
+            results["packed"].negative_count, results["unpacked"].negative_count
+        )
+        np.testing.assert_array_equal(results["packed"].sign, results["unpacked"].sign)
+        np.testing.assert_array_equal(results["packed"].value, results["unpacked"].value)
+
+
+class TestEvaluatorEquivalence:
+    def test_table1_mse_identical_across_backends(self):
+        from repro.eval.table1 import multiplier_mse
+
+        for scheme in ("shared_lfsr", "ramp_low_discrepancy"):
+            assert multiplier_mse(scheme, 4, backend="packed") == multiplier_mse(
+                scheme, 4, backend="unpacked"
+            )
+
+    def test_table2_mse_identical_across_backends(self):
+        from repro.eval.table2 import adder_mse
+
+        for config in ("old_random_lfsr", "old_lfsr_tff", "new_tff"):
+            assert adder_mse(config, 4, backend="packed") == adder_mse(
+                config, 4, backend="unpacked"
+            )
