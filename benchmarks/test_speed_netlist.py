@@ -1,0 +1,134 @@
+"""Benchmark: packed netlist simulator and bipolar engine vs. their references.
+
+Times the two paths this change moved onto the packed-word backend -- the
+activity-capturing netlist simulation behind the Table 3 power numbers and
+the Section IV-B bipolar dot-product engine -- asserts each meets its >= 5x
+speedup floor (the acceptance criterion of the packed follow-up change), and
+writes a ``BENCH_netlist.json`` artifact so the speedup trajectory can be
+tracked across commits, alongside ``BENCH_packed.json``.
+
+Timings use best-of-``REPEATS`` wall-clock so a single scheduler hiccup on a
+loaded CI machine cannot fail the regression assertion.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.netlist import build_sc_dot_product, simulate
+from repro.sc import BipolarDotProductEngine
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_netlist.json"
+REPEATS = 3
+
+
+def best_of(fn, repeats=REPEATS):
+    """Best wall-clock of ``repeats`` runs, plus the last return value."""
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_packed_netlist_toggle_count_speedup():
+    # The Table 3 activity circuit: one full stochastic dot-product engine
+    # (25 taps, 9-bit counters) driven by a random bit-stream trace.
+    taps, counter_bits, cycles = 25, 9, 1024
+    netlist = build_sc_dot_product(taps, counter_bits, adder="tff")
+    rng = np.random.default_rng(0)
+    stimulus = {
+        net: rng.integers(0, 2, cycles).astype(np.uint8)
+        for net in netlist.primary_inputs
+    }
+
+    unpacked_s, unpacked = best_of(
+        lambda: simulate(netlist, stimulus, backend="unpacked")
+    )
+    packed_s, packed = best_of(
+        lambda: simulate(netlist, stimulus, backend="packed")
+    )
+
+    # Correctness first: the speedup claim is only meaningful bit-identically.
+    assert packed.toggles == unpacked.toggles
+    for net in unpacked.waveforms:
+        np.testing.assert_array_equal(packed.waveforms[net], unpacked.waveforms[net])
+    assert packed.average_activity() == unpacked.average_activity()
+
+    speedup = unpacked_s / packed_s
+    print(
+        f"\nnetlist toggle count, {len(netlist.instances)} cells x {cycles} cycles: "
+        f"cycle loop {unpacked_s * 1e3:.0f} ms, packed {packed_s * 1e3:.1f} ms "
+        f"({speedup:.1f}x)"
+    )
+    assert speedup >= 5.0, (
+        f"packed netlist simulation only {speedup:.1f}x faster than the "
+        f"cycle loop (floor is 5x at {cycles} cycles)"
+    )
+
+    _write_artifact(
+        netlist_toggle_count={
+            "circuit": netlist.name,
+            "cells": len(netlist.instances),
+            "cycles": cycles,
+            "total_toggles": packed.total_toggles(),
+            "unpacked_seconds": unpacked_s,
+            "packed_seconds": packed_s,
+            "speedup": speedup,
+        }
+    )
+
+
+def test_packed_bipolar_dot_product_speedup_at_4096():
+    precision, taps, batch = 12, 25, 32  # stream length 4096
+    rng = np.random.default_rng(1)
+    x = rng.random((batch, taps))
+    w = rng.uniform(-1.0, 1.0, taps)
+
+    results, timings = {}, {}
+    for backend in ("unpacked", "packed"):
+        engine = BipolarDotProductEngine(precision=precision, backend=backend)
+        timings[backend], results[backend] = best_of(lambda: engine.dot(x, w))
+
+    np.testing.assert_array_equal(
+        results["packed"].count, results["unpacked"].count
+    )
+    np.testing.assert_array_equal(results["packed"].sign, results["unpacked"].sign)
+
+    length = 1 << precision
+    speedup = timings["unpacked"] / timings["packed"]
+    print(
+        f"\nbipolar dot product N={length}, taps={taps}, batch={batch}: "
+        f"unpacked {timings['unpacked'] * 1e3:.1f} ms, "
+        f"packed {timings['packed'] * 1e3:.1f} ms ({speedup:.1f}x)"
+    )
+    assert speedup >= 5.0, (
+        f"packed bipolar dot product only {speedup:.1f}x faster than unpacked "
+        f"(floor is 5x at stream length {length})"
+    )
+
+    _write_artifact(
+        bipolar_dot_product={
+            "stream_length": length,
+            "taps": taps,
+            "batch": batch,
+            "unpacked_seconds": timings["unpacked"],
+            "packed_seconds": timings["packed"],
+            "speedup": speedup,
+        }
+    )
+
+
+def _write_artifact(**sections):
+    """Merge benchmark sections into the BENCH_netlist.json artifact."""
+    data = {}
+    if ARTIFACT.exists():
+        try:
+            data = json.loads(ARTIFACT.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    data.update(sections)
+    ARTIFACT.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")

@@ -6,6 +6,7 @@ Two interchangeable stream representations are provided: the byte-per-bit
 losslessly via ``Bitstream.pack()`` / ``PackedBitstream.unpack()``.
 """
 
+from .backend import BACKENDS, resolve_backend, validate_backend
 from .bitstream import Bitstream
 from .correlation import (
     autocorrelation,
@@ -19,6 +20,8 @@ from .packed import (
     mask_tail,
     pack_bits,
     pack_comparator_output,
+    packed_alternating,
+    packed_delay,
     packed_mux,
     packed_mux_add,
     packed_not,
@@ -26,6 +29,8 @@ from .packed import (
     packed_popcount,
     packed_tff_add,
     packed_toggle_states,
+    packed_transition_count,
+    packed_xnor,
     unpack_bits,
     words_for,
 )
@@ -46,6 +51,9 @@ from .encoding import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "resolve_backend",
+    "validate_backend",
     "Bitstream",
     "PackedBitstream",
     "WORD_BITS",
@@ -56,7 +64,11 @@ __all__ = [
     "mask_tail",
     "packed_popcount",
     "packed_not",
+    "packed_xnor",
     "packed_mux",
+    "packed_alternating",
+    "packed_delay",
+    "packed_transition_count",
     "packed_tff_add",
     "packed_or_add",
     "packed_mux_add",

@@ -54,7 +54,11 @@ __all__ = [
     "mask_tail",
     "packed_popcount",
     "packed_not",
+    "packed_xnor",
     "packed_mux",
+    "packed_alternating",
+    "packed_delay",
+    "packed_transition_count",
     "packed_toggle_states",
     "packed_tff_add",
     "packed_or_add",
@@ -189,10 +193,59 @@ def packed_not(words: np.ndarray, n_bits: int) -> np.ndarray:
     return mask_tail(~_as_words(words), n_bits)
 
 
+def packed_xnor(x: np.ndarray, y: np.ndarray, n_bits: int) -> np.ndarray:
+    """Bitwise XNOR of packed streams (the bipolar multiplier), tail re-masked."""
+    return mask_tail(~(_as_words(x) ^ _as_words(y)), n_bits)
+
+
 def packed_mux(select: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
     """Word-level 2:1 multiplexer: ``y`` where ``select`` is 1, else ``x``."""
     s = _as_words(select)
     return (_as_words(y) & s) | (_as_words(x) & ~s)
+
+
+def packed_alternating(n_bits: int) -> np.ndarray:
+    """The packed ``1010...`` stream (bit 1 at even cycles): density exactly 0.5.
+
+    This is the bipolar-zero stream used to pad adder-tree inputs -- an
+    all-zeros pad would encode bipolar -1 and bias the scaled sum.
+    """
+    words = np.full(words_for(n_bits), np.uint64(0x5555555555555555), dtype=np.uint64)
+    return mask_tail(words, n_bits)
+
+
+def packed_delay(words: np.ndarray, n_bits: int, fill: int = 0) -> np.ndarray:
+    """Delay packed stream(s) by one cycle: output bit ``t`` is input bit ``t-1``.
+
+    ``fill`` (0 or 1) supplies the value seen at cycle 0 -- exactly the Q
+    waveform of a D flip-flop with ``initial_state=fill`` whose D input is
+    ``words``.  Works on batched arrays (words on the last axis).
+    """
+    if fill not in (0, 1):
+        raise ValueError(f"fill must be 0 or 1, got {fill}")
+    w = _as_words(words)
+    if w.shape[-1] == 0:
+        return w.copy()
+    out = w << np.uint64(1)
+    out[..., 1:] |= w[..., :-1] >> np.uint64(WORD_BITS - 1)
+    out[..., 0] |= np.uint64(fill)
+    return mask_tail(out, n_bits)
+
+
+def packed_transition_count(words: np.ndarray, n_bits: int) -> np.ndarray:
+    """Number of value changes between consecutive cycles of each stream.
+
+    The word kernel behind activity extraction: XOR each stream with its
+    one-cycle-delayed self and popcount, i.e. ``popcount(w ^ (w >> 1))``
+    evaluated across word boundaries.  Cycle 0 has no predecessor and never
+    counts as a transition.  Returns int64 counts (word axis reduced).
+    """
+    w = _as_words(words)
+    if n_bits <= 1 or w.shape[-1] == 0:
+        return np.zeros(w.shape[:-1], dtype=np.int64)
+    diff = w ^ packed_delay(w, n_bits, fill=0)
+    diff[..., 0] &= np.uint64(0xFFFFFFFFFFFFFFFE)  # cycle 0: no predecessor
+    return packed_popcount(diff)
 
 
 def packed_toggle_states(

@@ -7,13 +7,17 @@ Usage (after ``pip install -e .``):
     python -m repro hardware               # power / energy / area (Table 3 bottom)
     python -m repro hardware --raw         # same, without the 8-bit anchoring
     python -m repro accuracy --quick       # misclassification rates (Table 3 top)
+    python -m repro activity               # simulated switching activity + power
     python -m repro claims                 # headline-claim summary
 
 The accuracy experiment honours the same environment variables as the
 benchmark suite (REPRO_TRAIN_SIZE, REPRO_TEST_SIZE, REPRO_BITEXACT,
-REPRO_EVAL_IMAGES, REPRO_BACKEND).  ``table1``, ``table2`` and ``accuracy``
-accept ``--backend {packed,unpacked}`` to select the bit-level simulation
-backend (both produce bit-identical numbers; packed is ~10x faster).
+REPRO_EVAL_IMAGES, REPRO_BACKEND).  ``table1``, ``table2``, ``accuracy`` and
+``activity`` accept ``--backend {packed,unpacked}`` to select the bit-level
+simulation backend (both produce bit-identical numbers; packed is ~10x
+faster).  ``activity`` runs the PrimeTime-style switching-annotated power
+estimate: it simulates the Table 3 stochastic dot-product netlist against a
+random bit-stream trace and rolls the per-net toggle counts into power.
 """
 
 from __future__ import annotations
@@ -96,6 +100,20 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also report the no-retraining ablation row")
     add_backend(accuracy)
 
+    activity = sub.add_parser(
+        "activity",
+        help="switching-activity power simulation of the Table 3 SC engine netlist",
+    )
+    activity.add_argument(
+        "--precision", type=int, default=6,
+        help="stream precision: simulates 2**precision cycles with a "
+             "(precision+1)-bit counter",
+    )
+    activity.add_argument("--taps", type=int, default=25, help="dot-product tap count")
+    activity.add_argument("--adder", choices=("tff", "mux"), default="tff")
+    activity.add_argument("--seed", type=int, default=0, help="stimulus RNG seed")
+    add_backend(activity)
+
     claims = sub.add_parser("claims", help="headline-claim summary (hardware only)")
     claims.add_argument("--raw", action="store_true")
     return parser
@@ -107,6 +125,39 @@ def _resolve_backend(arg: Optional[str]) -> str:
         return resolve_backend(arg)
     except ValueError as exc:
         raise SystemExit(f"repro: error: {exc}") from exc
+
+
+def _run_activity(args: argparse.Namespace) -> None:
+    """Simulate the SC engine netlist and print the activity-annotated power."""
+    import numpy as np
+
+    from .hw.technology import DEFAULT_TECH
+    from .netlist import build_sc_dot_product, estimate_power, simulate
+
+    if args.precision < 2:
+        raise SystemExit("repro: error: precision must be at least 2")
+    if args.taps < 2:
+        raise SystemExit("repro: error: taps must be at least 2")
+    backend = _resolve_backend(args.backend)
+    cycles = 1 << args.precision
+    netlist = build_sc_dot_product(args.taps, args.precision + 1, adder=args.adder)
+    rng = np.random.default_rng(args.seed)
+    stimulus = {
+        net: rng.integers(0, 2, cycles, dtype=np.int64).astype(np.uint8)
+        for net in netlist.primary_inputs
+    }
+    result = simulate(netlist, stimulus, backend=backend)
+    report = estimate_power(
+        netlist, DEFAULT_TECH.sc_clock_mhz, simulation=result
+    )
+    print(f"netlist: {netlist.name} ({len(netlist.instances)} cells), "
+          f"{cycles} cycles, backend={backend}")
+    print(f"total toggles:      {result.total_toggles()}")
+    print(f"average activity:   {result.average_activity():.4f} toggles/cycle/net")
+    print(f"dynamic power:      {report.dynamic_mw * 1e3:.2f} uW at "
+          f"{report.frequency_mhz:.0f} MHz")
+    print(f"leakage power:      {report.leakage_mw * 1e3:.2f} uW")
+    print(f"total power:        {report.total_mw * 1e3:.2f} uW")
 
 
 def _accuracy_config(args: argparse.Namespace) -> AccuracyConfig:
@@ -147,6 +198,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     elif args.command == "accuracy":
         result = run_table3_accuracy(_accuracy_config(args))
         print(format_table3_accuracy(result))
+    elif args.command == "activity":
+        _run_activity(args)
     elif args.command == "claims":
         hardware = run_table3_hardware(calibrate=not args.raw)
         print(format_headline_claims(summarize(hardware)))

@@ -24,6 +24,15 @@ checks the emulator's sign decisions against the bit-exact engine.
 DESIGN.md documents this substitution; the ``REPRO_BITEXACT=1`` environment
 variable switches the Table 3 harness to full bit-exact evaluation.
 
+The emulator accepts either first-layer engine: the paper's split-weight
+:class:`~repro.sc.dotproduct.StochasticDotProductEngine` (calibrating the
+positive-minus-negative counter difference) or the rejected
+:class:`~repro.sc.bipolar.BipolarDotProductEngine` (calibrating the single
+counter's offset from the mid-scale decision point ``N/2``), so the Section
+IV-B ablation can also run at full-test-set scale.  Calibration always runs
+through the engine's active simulation ``backend`` -- packed words by
+default, bit-identical counts either way.
+
 Validity range: the emulator is calibrated and validated for stream lengths
 of 8 bits and above (precision >= 3).  At 2-bit precision (stream length 4)
 the counter values are so coarse that the additive-residual model no longer
@@ -35,11 +44,12 @@ stream length).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
-from ..bitstream import quantize_unipolar
+from ..bitstream import quantize_bipolar, quantize_unipolar
+from ..sc.bipolar import BipolarDotProductEngine
 from ..sc.dotproduct import StochasticDotProductEngine, split_weights
 from ..sc.elements.adders import AdderTree
 from ..utils.windows import extract_patches, patches_to_map
@@ -73,14 +83,19 @@ class CalibratedSCEmulator:
     ----------
     engine:
         The engine configuration being emulated (its precision, adder type and
-        number generators determine the calibrated error model).
+        number generators determine the calibrated error model).  Either the
+        split-weight unipolar engine or the bipolar alternative.
     seed:
         Seed of the generator used to resample emulation residuals.
     """
 
-    engine: StochasticDotProductEngine
+    engine: Union[StochasticDotProductEngine, BipolarDotProductEngine]
     seed: int = 0
     model: Optional[EmulationModel] = field(default=None)
+
+    @property
+    def _bipolar(self) -> bool:
+        return isinstance(self.engine, BipolarDotProductEngine)
 
     # ------------------------------------------------------------------ #
     # calibration
@@ -114,7 +129,11 @@ class CalibratedSCEmulator:
         residuals = []
         for kernel in sample_weights:
             result = self.engine.dot_prepared(x_streams, kernel)
-            exact_diff = result.positive_count - result.negative_count
+            if self._bipolar:
+                # Single counter: the sign activation compares it to N/2.
+                exact_diff = result.count - self.engine.length // 2
+            else:
+                exact_diff = result.positive_count - result.negative_count
             ideal_diff = self._ideal_difference(sample_inputs, kernel)
             residuals.append(exact_diff - ideal_diff)
         stacked = np.concatenate([r.ravel() for r in residuals])
@@ -127,10 +146,20 @@ class CalibratedSCEmulator:
         return self.model
 
     def _ideal_difference(self, inputs: np.ndarray, kernel: np.ndarray) -> np.ndarray:
-        """Counter-difference an error-free engine would produce (in LSBs)."""
+        """Counter-difference an error-free engine would produce (in LSBs).
+
+        For the split-weight engine this is the positive-minus-negative
+        counter difference; for the bipolar engine it is the single counter's
+        offset from the mid-scale ``N/2`` (``count - N/2``), which is the
+        quantity its sign activation compares against zero.
+        """
         n = self.engine.length
         taps = inputs.shape[-1]
         tree_scale = 1 << AdderTree().depth(taps)
+        if self._bipolar:
+            quantized = quantize_bipolar(inputs, self.engine.precision)
+            w_q = quantize_bipolar(kernel, self.engine.precision)
+            return (quantized @ w_q) / tree_scale * (n / 2)
         quantized = quantize_unipolar(inputs, self.engine.precision)
         w_pos, w_neg = split_weights(kernel)
         return (quantized @ (w_pos - w_neg)) / tree_scale * n
@@ -155,18 +184,29 @@ class CalibratedSCEmulator:
         taps = patches.shape[-1]
         tree_scale = 1 << AdderTree().depth(taps)
 
-        quantized = quantize_unipolar(patches, self.engine.precision)
-        w_pos, w_neg = split_weights(kernels)
-        ideal_diff = quantized @ (w_pos - w_neg).T / tree_scale * n
+        if self._bipolar:
+            quantized = quantize_bipolar(patches, self.engine.precision)
+            w_q = quantize_bipolar(kernels, self.engine.precision)
+            ideal_diff = quantized @ w_q.T / tree_scale * (n / 2)
+            diff_range = n / 2
+        else:
+            quantized = quantize_unipolar(patches, self.engine.precision)
+            w_pos, w_neg = split_weights(kernels)
+            ideal_diff = quantized @ (w_pos - w_neg).T / tree_scale * n
+            diff_range = n
 
         rng = np.random.default_rng(self.seed)
         noise = rng.choice(self.model.residuals, size=ideal_diff.shape)
         diff = np.round(ideal_diff + noise)
-        diff = np.clip(diff, -n, n)
+        diff = np.clip(diff, -diff_range, diff_range)
 
-        sign = np.sign(diff)
+        if self._bipolar:
+            # The bipolar sign activation emits +-1 only; ties resolve to +1.
+            sign = np.where(diff >= 0, 1.0, -1.0)
+        else:
+            sign = np.sign(diff)
         if soft_threshold > 0.0:
-            sign = np.where(np.abs(diff) < soft_threshold * n, 0.0, sign)
+            sign = np.where(np.abs(diff) < soft_threshold * diff_range, 0.0, sign)
         return sign
 
     def forward(

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Tuple
 
+from ..bitstream.packed import packed_delay, packed_toggle_states
+
 __all__ = ["Cell", "CELL_LIBRARY", "cell", "nand2_equivalents"]
 
 
@@ -57,6 +59,16 @@ class Cell:
         For combinational cells: a function mapping input bit tuple to the
         output bit tuple.  For sequential cells: a function mapping
         ``(state, inputs)`` to ``(new_state, outputs)``.
+    word_logic:
+        The word-parallel counterpart used by the packed simulator backend.
+        For combinational cells: ``word_logic(inputs, ones)`` maps a tuple of
+        packed uint64 waveform arrays (the whole simulation, 64 cycles per
+        word) to the output waveform tuple; ``ones`` is the all-ones waveform
+        (tail-masked) so inverting gates can complement without leaking bits
+        past the stream length.  For sequential cells:
+        ``word_logic(inputs, n_bits, initial_state)`` returns the full Q
+        waveform(s) in closed form (DFF: one-cycle delay, TFF: prefix-parity
+        scan).  ``None`` means the cell has no packed fast path.
     """
 
     name: str
@@ -67,6 +79,7 @@ class Cell:
     leakage_nw: float
     sequential: bool = False
     logic: Callable = field(default=None, repr=False, compare=False)
+    word_logic: Callable = field(default=None, repr=False, compare=False)
 
     @property
     def gate_equivalents(self) -> float:
@@ -109,13 +122,57 @@ def _tff_logic(state: int, inputs: Tuple[int, ...]) -> Tuple[int, Tuple[int, ...
     return new_state, (state & 1,)
 
 
+# --------------------------------------------------------------------------- #
+# word-parallel logic (packed simulator backend)
+# --------------------------------------------------------------------------- #
+def _wcomb(fn):
+    """Wrap a word function ``fn(*inputs, ones)`` into the tuple interface."""
+
+    def word_logic(inputs, ones):
+        return (fn(*inputs, ones),)
+
+    return word_logic
+
+
+def _w_fa(inputs, ones):
+    a, b, cin = inputs
+    half = a ^ b
+    return (half ^ cin, (a & b) | (cin & half))
+
+
+def _w_ha(inputs, ones):
+    a, b = inputs
+    return (a ^ b, a & b)
+
+
+def _w_cmp1(a, b, gin, ones):
+    # a > b this bit, or equal here and greater below.
+    return (a & (b ^ ones)) | ((a ^ b ^ ones) & gin)
+
+
+def _w_dff(inputs, n_bits, initial_state):
+    (d,) = inputs
+    return (packed_delay(d, n_bits, fill=initial_state),)
+
+
+def _w_tff(inputs, n_bits, initial_state):
+    (t,) = inputs
+    return (packed_toggle_states(t, n_bits, initial_state),)
+
+
 #: The cell library.  Areas and energies are scaled from the NAND2 reference
 #: using typical relative sizes of a 65 nm commercial library.
 CELL_LIBRARY: Dict[str, Cell] = {
     "INV": Cell(
-        "INV", ("A",), ("Y",), 0.72, 0.6, 0.8, logic=_comb(lambda a: 1 - a)
+        "INV", ("A",), ("Y",), 0.72, 0.6, 0.8,
+        logic=_comb(lambda a: 1 - a),
+        word_logic=_wcomb(lambda a, ones: a ^ ones),
     ),
-    "BUF": Cell("BUF", ("A",), ("Y",), 1.08, 0.9, 1.0, logic=_comb(lambda a: a)),
+    "BUF": Cell(
+        "BUF", ("A",), ("Y",), 1.08, 0.9, 1.0,
+        logic=_comb(lambda a: a),
+        word_logic=_wcomb(lambda a, ones: a),
+    ),
     "NAND2": Cell(
         "NAND2",
         ("A", "B"),
@@ -124,18 +181,27 @@ CELL_LIBRARY: Dict[str, Cell] = {
         NAND2_TOGGLE_ENERGY_FJ,
         NAND2_LEAKAGE_NW,
         logic=_comb(lambda a, b: 1 - (a & b)),
+        word_logic=_wcomb(lambda a, b, ones: (a & b) ^ ones),
     ),
     "NOR2": Cell(
-        "NOR2", ("A", "B"), ("Y",), 1.44, 1.2, 1.5, logic=_comb(lambda a, b: 1 - (a | b))
+        "NOR2", ("A", "B"), ("Y",), 1.44, 1.2, 1.5,
+        logic=_comb(lambda a, b: 1 - (a | b)),
+        word_logic=_wcomb(lambda a, b, ones: (a | b) ^ ones),
     ),
     "AND2": Cell(
-        "AND2", ("A", "B"), ("Y",), 1.80, 1.5, 1.8, logic=_comb(lambda a, b: a & b)
+        "AND2", ("A", "B"), ("Y",), 1.80, 1.5, 1.8,
+        logic=_comb(lambda a, b: a & b),
+        word_logic=_wcomb(lambda a, b, ones: a & b),
     ),
     "OR2": Cell(
-        "OR2", ("A", "B"), ("Y",), 1.80, 1.5, 1.8, logic=_comb(lambda a, b: a | b)
+        "OR2", ("A", "B"), ("Y",), 1.80, 1.5, 1.8,
+        logic=_comb(lambda a, b: a | b),
+        word_logic=_wcomb(lambda a, b, ones: a | b),
     ),
     "XOR2": Cell(
-        "XOR2", ("A", "B"), ("Y",), 2.88, 2.4, 2.6, logic=_comb(lambda a, b: a ^ b)
+        "XOR2", ("A", "B"), ("Y",), 2.88, 2.4, 2.6,
+        logic=_comb(lambda a, b: a ^ b),
+        word_logic=_wcomb(lambda a, b, ones: a ^ b),
     ),
     "XNOR2": Cell(
         "XNOR2",
@@ -145,6 +211,7 @@ CELL_LIBRARY: Dict[str, Cell] = {
         2.4,
         2.6,
         logic=_comb(lambda a, b: 1 - (a ^ b)),
+        word_logic=_wcomb(lambda a, b, ones: a ^ b ^ ones),
     ),
     "MUX2": Cell(
         "MUX2",
@@ -154,12 +221,15 @@ CELL_LIBRARY: Dict[str, Cell] = {
         2.2,
         2.5,
         logic=_comb(lambda a, b, s: b if s else a),
+        word_logic=_wcomb(lambda a, b, s, ones: (b & s) | (a & (s ^ ones))),
     ),
     "HA": Cell(
-        "HA", ("A", "B"), ("S", "C"), 3.60, 3.0, 3.2, logic=_ha_logic
+        "HA", ("A", "B"), ("S", "C"), 3.60, 3.0, 3.2,
+        logic=_ha_logic, word_logic=_w_ha,
     ),
     "FA": Cell(
-        "FA", ("A", "B", "CIN"), ("S", "C"), 7.20, 5.5, 5.5, logic=_fa_logic
+        "FA", ("A", "B", "CIN"), ("S", "C"), 7.20, 5.5, 5.5,
+        logic=_fa_logic, word_logic=_w_fa,
     ),
     "CMP1": Cell(
         # one bit-slice of a magnitude comparator (roughly an XOR + AOI)
@@ -170,12 +240,15 @@ CELL_LIBRARY: Dict[str, Cell] = {
         3.2,
         3.5,
         logic=_comb(lambda a, b, gin: 1 if a > b else (gin if a == b else 0)),
+        word_logic=_wcomb(_w_cmp1),
     ),
     "DFF": Cell(
-        "DFF", ("D",), ("Q",), 5.04, 4.0, 4.5, sequential=True, logic=_dff_logic
+        "DFF", ("D",), ("Q",), 5.04, 4.0, 4.5, sequential=True,
+        logic=_dff_logic, word_logic=_w_dff,
     ),
     "TFF": Cell(
-        "TFF", ("T",), ("Q",), 5.76, 4.5, 5.0, sequential=True, logic=_tff_logic
+        "TFF", ("T",), ("Q",), 5.76, 4.5, 5.0, sequential=True,
+        logic=_tff_logic, word_logic=_w_tff,
     ),
 }
 

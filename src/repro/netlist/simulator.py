@@ -11,17 +11,43 @@ The simulation model is the standard zero-delay cycle model:
 
 * at the start of every cycle, primary inputs take their new values and
   sequential cells present their stored state on their outputs;
-* combinational cells are then evaluated in topological order;
 * at the end of the cycle, sequential cells capture their next state.
+
+Two execution backends produce that model's results (selected by the same
+``backend="packed"|"unpacked"`` / ``REPRO_BACKEND`` convention as the
+stochastic dot-product engines, see
+:func:`repro.bitstream.backend.resolve_backend`):
+
+* ``"unpacked"`` -- the reference interpreter: combinational cells are
+  evaluated in topological order, one Python call per cell per cycle;
+* ``"packed"`` -- the word-parallel fast path: every net's full waveform is
+  stored 64 cycles per ``uint64`` word and each combinational cell is
+  evaluated once on whole word arrays (its :attr:`~repro.netlist.cells.Cell`
+  ``word_logic``).  Sequential cells are resolved in closed form -- a DFF is
+  a one-cycle packed delay, a TFF a word-parallel prefix-parity scan -- in
+  topological order of the *register* dependency graph.  Toggle counts come
+  from the ``popcount(w ^ (w >> 1))`` word kernel
+  (:func:`repro.bitstream.packed.packed_transition_count`).  Netlists whose
+  registers form a combinational feedback cycle (e.g. an LFSR) have no such
+  closed form; those fall back to the cycle loop automatically, so results
+  are always bit-identical to ``"unpacked"``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from ..bitstream.backend import resolve_backend
+from ..bitstream.packed import (
+    mask_tail,
+    pack_bits,
+    packed_transition_count,
+    unpack_bits,
+    words_for,
+)
 from .netlist import Netlist
 
 __all__ = ["SimulationResult", "simulate"]
@@ -64,6 +90,7 @@ def simulate(
     stimulus: Mapping[str, Sequence[int] | np.ndarray],
     cycles: Optional[int] = None,
     record: Optional[Sequence[str]] = None,
+    backend: Optional[str] = None,
 ) -> SimulationResult:
     """Simulate a netlist against input waveforms.
 
@@ -78,21 +105,32 @@ def simulate(
         Number of cycles; defaults to the length of the shortest stimulus.
     record:
         Net names whose waveforms should be returned.  Defaults to the primary
-        outputs.  Toggle counts are always collected for *all* nets.
+        outputs.  Every name must exist in the netlist (``ValueError``
+        otherwise).  Toggle counts are always collected for *all* nets.
+    backend:
+        ``"packed"`` evaluates each cell on whole 64-cycles-per-word uint64
+        waveform words; ``"unpacked"`` runs the per-cycle cell loop.  Both
+        produce bit-identical results (packed falls back to the cycle loop
+        for register feedback cycles).  ``None`` defers to ``REPRO_BACKEND``,
+        then ``"packed"``.
 
     Returns
     -------
     SimulationResult
     """
+    backend = resolve_backend(backend)
     netlist.validate()
-    order = netlist.topological_order()
-    sequential = netlist.sequential_instances()
 
     missing = [net for net in netlist.primary_inputs if net not in stimulus]
     if missing:
         raise ValueError(f"missing stimulus for primary inputs: {missing}")
 
-    waves = {net: np.asarray(stimulus[net], dtype=np.uint8) for net in netlist.primary_inputs}
+    # Normalize to strict 0/1 up front (any nonzero value counts as logic 1)
+    # so both backends see identical bits.
+    waves = {
+        net: (np.asarray(stimulus[net]) != 0).astype(np.uint8)
+        for net in netlist.primary_inputs
+    }
     if cycles is None:
         if not waves:
             raise ValueError("cycle count required for a netlist with no inputs")
@@ -103,12 +141,45 @@ def simulate(
                 f"stimulus for {net!r} has {len(wave)} cycles, need {cycles}"
             )
 
+    # All driven nets, in a deterministic order: primary inputs first, then
+    # every instance output.  These are the nets whose toggles are counted.
+    nets: List[str] = list(netlist.primary_inputs)
+    for inst in netlist.instances:
+        nets.extend(inst.outputs)
+
     record = list(record) if record is not None else list(netlist.primary_outputs)
+    known = set(nets) | set(netlist.CONSTANT_NETS)
+    unknown = [net for net in record if net not in known]
+    if unknown:
+        raise ValueError(
+            f"cannot record nets that do not exist in netlist "
+            f"{netlist.name!r}: {unknown}"
+        )
+
+    if backend == "packed":
+        result = _simulate_packed(netlist, waves, int(cycles), record, nets)
+        if result is not None:
+            return result
+    return _simulate_cycle_loop(netlist, waves, int(cycles), record, nets)
+
+
+# --------------------------------------------------------------------------- #
+# reference backend: the per-cycle cell loop
+# --------------------------------------------------------------------------- #
+def _simulate_cycle_loop(
+    netlist: Netlist,
+    waves: Dict[str, np.ndarray],
+    cycles: int,
+    record: List[str],
+    nets: List[str],
+) -> SimulationResult:
+    order = netlist.topological_order()
+    sequential = netlist.sequential_instances()
 
     values: Dict[str, int] = {"0": 0, "1": 1}
     state: Dict[str, int] = {inst.name: inst.initial_state for inst in sequential}
     previous: Dict[str, int] = {}
-    toggles: Dict[str, int] = {}
+    toggles: Dict[str, int] = {net: 0 for net in nets}
     recorded = {net: np.zeros(cycles, dtype=np.uint8) for net in record}
 
     for t in range(cycles):
@@ -134,14 +205,82 @@ def simulate(
             state[inst.name] = int(new_state)
 
         for net in recorded:
-            recorded[net][t] = values.get(net, 0)
-        for net, value in values.items():
-            if net in ("0", "1"):
-                continue
-            if t > 0 and previous.get(net) != value:
-                toggles[net] = toggles.get(net, 0) + 1
-            elif net not in toggles:
-                toggles[net] = toggles.get(net, 0)
+            recorded[net][t] = values[net]
+        for net in nets:
+            value = values[net]
+            if t > 0 and previous[net] != value:
+                toggles[net] += 1
             previous[net] = value
 
+    return SimulationResult(cycles=cycles, waveforms=recorded, toggles=toggles)
+
+
+# --------------------------------------------------------------------------- #
+# packed backend: whole-waveform word kernels
+# --------------------------------------------------------------------------- #
+def _simulate_packed(
+    netlist: Netlist,
+    waves: Dict[str, np.ndarray],
+    cycles: int,
+    record: List[str],
+    nets: List[str],
+) -> Optional[SimulationResult]:
+    """Word-parallel simulation; ``None`` when the netlist needs the cycle loop.
+
+    Combinational cells are evaluated once on packed full-run waveforms;
+    sequential cells are resolved in closed form (their ``word_logic``) as
+    soon as their input waveforms are known.  The interleaved worklist below
+    terminates exactly when the register dependency graph is acyclic -- any
+    combinational feedback through registers (LFSR-style) stalls it, and the
+    caller falls back to the cycle loop.
+    """
+    if any(inst.cell.word_logic is None for inst in netlist.instances):
+        return None
+
+    width = words_for(cycles)
+    ones = mask_tail(np.full(width, np.uint64(0xFFFFFFFFFFFFFFFF)), cycles)
+    values: Dict[str, np.ndarray] = {
+        "0": np.zeros(width, dtype=np.uint64),
+        "1": ones,
+    }
+    for net in netlist.primary_inputs:
+        values[net] = pack_bits(waves[net][:cycles])
+
+    pending_comb = netlist.topological_order()
+    pending_seq = netlist.sequential_instances()
+    while pending_comb or pending_seq:
+        progress = False
+        still_comb = []
+        for inst in pending_comb:
+            if all(net in values for net in inst.inputs):
+                outs = inst.cell.word_logic(
+                    tuple(values[net] for net in inst.inputs), ones
+                )
+                for net, wave in zip(inst.outputs, outs):
+                    values[net] = wave
+                progress = True
+            else:
+                still_comb.append(inst)
+        pending_comb = still_comb
+        still_seq = []
+        for inst in pending_seq:
+            if all(net in values for net in inst.inputs):
+                outs = inst.cell.word_logic(
+                    tuple(values[net] for net in inst.inputs),
+                    cycles,
+                    inst.initial_state,
+                )
+                for net, wave in zip(inst.outputs, outs):
+                    values[net] = wave
+                progress = True
+            else:
+                still_seq.append(inst)
+        pending_seq = still_seq
+        if not progress:
+            return None  # register feedback cycle: no closed form
+
+    recorded = {net: unpack_bits(values[net], cycles) for net in record}
+    toggles = {
+        net: int(packed_transition_count(values[net], cycles)) for net in nets
+    }
     return SimulationResult(cycles=cycles, waveforms=recorded, toggles=toggles)

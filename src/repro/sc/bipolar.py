@@ -13,21 +13,28 @@ This module implements the rejected alternative so the claim can be measured:
 a scaled adder tree entirely in the bipolar domain.  The ablation benchmark
 ``benchmarks/test_ablation_bipolar.py`` compares the two designs' accuracy
 near the decision point.
+
+Like the unipolar engine, the bipolar engine runs on either simulation
+``backend``: ``"packed"`` (64 stream bits per uint64 word, word-level XNOR /
+adder-tree kernels) or ``"unpacked"`` (one byte per bit).  Both backends are
+bit-order exact -- identical counter values in every configuration -- so the
+choice only affects speed and memory.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Optional
 
 import numpy as np
 
 from ..bitstream import bipolar_to_unipolar
+from ..bitstream.packed import packed_alternating, packed_popcount, packed_xnor
 from ..rng import ComparatorSNG, SobolSource, VanDerCorputSource
 from .elements.adders import AdderTree, MuxAdder, TffAdder
 from .elements.converters import count_ones
 from .elements.multipliers import xnor_multiply
-from .dotproduct import stream_length
+from .dotproduct import resolve_backend, stream_length
 
 __all__ = ["BipolarDotProductResult", "BipolarDotProductEngine"]
 
@@ -51,8 +58,14 @@ class BipolarDotProductResult:
 
     @property
     def sign(self) -> np.ndarray:
-        """Sign activation: compare the counter against the mid-scale N/2."""
-        return np.sign(self.count.astype(np.int64) * 2 - self.length).astype(np.int8)
+        """Sign activation: compare the counter against the mid-scale N/2.
+
+        A hardware sign activation emits only +-1; the exact tie
+        ``2 * count == length`` (counter at mid-scale) resolves to +1, the
+        comparator's "not below the decision point" side.
+        """
+        count2 = self.count.astype(np.int64) * 2
+        return np.where(count2 >= self.length, 1, -1).astype(np.int8)
 
 
 @dataclass
@@ -67,11 +80,18 @@ class BipolarDotProductEngine:
         ``"tff"`` or ``"mux"`` scaled adders for the reduction tree.
     seed:
         Seed for LFSR/MUX-select sources.
+    backend:
+        ``"packed"`` simulates with 64-bits-per-word kernels; ``"unpacked"``
+        keeps the one-byte-per-bit arrays.  Bit-identical counter values
+        either way.  ``None`` (the default) resolves to the ``REPRO_BACKEND``
+        environment variable, falling back to ``"packed"`` (see
+        :func:`repro.sc.dotproduct.resolve_backend`).
     """
 
     precision: int = 8
     adder: str = "tff"
     seed: int = 1
+    backend: Optional[str] = None
     _mux_seed_counter: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
@@ -79,6 +99,7 @@ class BipolarDotProductEngine:
             raise ValueError("precision must be at least 2 bits")
         if self.adder not in ("tff", "mux"):
             raise ValueError(f"unknown adder {self.adder!r}")
+        self.backend = resolve_backend(self.backend)
 
     @property
     def length(self) -> int:
@@ -95,24 +116,70 @@ class BipolarDotProductEngine:
 
         return make_mux
 
-    def input_streams(self, values: np.ndarray) -> np.ndarray:
-        """Encode inputs (in ``[-1, 1]``; image pixels use ``[0, 1]``) as bipolar streams."""
-        values = np.asarray(values, dtype=np.float64)
-        probabilities = bipolar_to_unipolar(np.clip(values, -1.0, 1.0))
-        sng = ComparatorSNG(VanDerCorputSource(self.precision))
-        return sng.generate_bits(probabilities, self.length)
+    # ------------------------------------------------------------------ #
+    # stream generation
+    # ------------------------------------------------------------------ #
+    def _input_sng(self) -> ComparatorSNG:
+        return ComparatorSNG(VanDerCorputSource(self.precision))
 
-    def weight_streams(self, weights: np.ndarray) -> np.ndarray:
-        """Encode signed weights as bipolar streams (one stream per tap)."""
+    def _weight_sng(self) -> ComparatorSNG:
+        return ComparatorSNG(SobolSource(self.precision, dimension=1))
+
+    def _input_probabilities(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        return bipolar_to_unipolar(np.clip(values, -1.0, 1.0))
+
+    def _weight_probabilities(self, weights: np.ndarray) -> np.ndarray:
         weights = np.asarray(weights, dtype=np.float64)
         if np.any(np.abs(weights) > 1.0 + 1e-9):
             raise ValueError("weights must lie in [-1, 1]")
-        probabilities = bipolar_to_unipolar(weights)
-        sng = ComparatorSNG(SobolSource(self.precision, dimension=1))
-        return sng.generate_bits(probabilities, self.length)
+        return bipolar_to_unipolar(weights)
+
+    def input_streams(self, values: np.ndarray) -> np.ndarray:
+        """Encode inputs (in ``[-1, 1]``; image pixels use ``[0, 1]``) as bipolar streams."""
+        return self._input_sng().generate_bits(
+            self._input_probabilities(values), self.length
+        )
+
+    def input_words(self, values: np.ndarray) -> np.ndarray:
+        """Packed variant of :meth:`input_streams`: ``(..., ceil(N/64))`` uint64 words."""
+        return self._input_sng().generate_packed(
+            self._input_probabilities(values), self.length
+        )
+
+    def weight_streams(self, weights: np.ndarray) -> np.ndarray:
+        """Encode signed weights as bipolar streams (one stream per tap)."""
+        return self._weight_sng().generate_bits(
+            self._weight_probabilities(weights), self.length
+        )
+
+    def weight_words(self, weights: np.ndarray) -> np.ndarray:
+        """Packed variant of :meth:`weight_streams` (uint64 words per stream)."""
+        return self._weight_sng().generate_packed(
+            self._weight_probabilities(weights), self.length
+        )
+
+    # ------------------------------------------------------------------ #
+    # computation
+    # ------------------------------------------------------------------ #
+    def prepare_inputs(self, values: np.ndarray) -> np.ndarray:
+        """Generate input streams in the active backend's representation.
+
+        Mirrors :meth:`StochasticDotProductEngine.prepare_inputs`: the
+        returned array (uint8 bits or uint64 words on the last axis) is meant
+        to be passed to :meth:`dot_prepared`, possibly several times.
+        """
+        if self.backend == "packed":
+            return self.input_words(values)
+        return self.input_streams(values)
 
     def dot(self, x: np.ndarray, weights: np.ndarray) -> BipolarDotProductResult:
-        """Compute ``x . w`` for inputs ``x`` (shape ``(..., k)``) and weights ``(k,)``."""
+        """Compute ``x . w`` for inputs ``x`` (shape ``(..., k)``) and weights ``(k,)``.
+
+        Every call re-seeds the per-node MUX select sources from scratch, so
+        repeated ``dot()`` invocations on one engine are deterministic:
+        identical inputs always produce identical counts.
+        """
         x = np.asarray(x, dtype=np.float64)
         weights = np.asarray(weights, dtype=np.float64)
         if x.shape[-1] != weights.shape[-1]:
@@ -120,13 +187,30 @@ class BipolarDotProductEngine:
                 f"tap count mismatch: inputs have {x.shape[-1]}, "
                 f"weights have {weights.shape[-1]}"
             )
-        x_bits = self.input_streams(x)
+        return self.dot_prepared(self.prepare_inputs(x), weights)
+
+    def dot_prepared(
+        self, prepared: np.ndarray, weights: np.ndarray
+    ) -> BipolarDotProductResult:
+        """Dot product of :meth:`prepare_inputs` output with fresh weight streams."""
+        # Reset the MUX seed counter so every evaluation instantiates the
+        # same select sources (node i always gets seed 777*seed + i + 1).
+        self._mux_seed_counter = 0
+        weights = np.asarray(weights, dtype=np.float64)
+        if self.backend == "packed":
+            return self._dot_packed(prepared, weights)
+        return self._dot_unpacked(prepared, weights)
+
+    def _dot_unpacked(
+        self, x_bits: np.ndarray, weights: np.ndarray
+    ) -> BipolarDotProductResult:
+        """Byte-per-bit reference evaluation."""
         w_bits = self.weight_streams(weights)
         products = np.asarray(xnor_multiply(x_bits, w_bits))
 
         # Pad the tap axis to a power of two with bipolar-zero (density 0.5)
         # streams: an all-zeros pad would encode -1 and bias the sum.
-        taps = x.shape[-1]
+        taps = products.shape[-2]
         tree = AdderTree(self._adder_factory())
         depth = tree.depth(taps)
         padded_taps = 1 << depth
@@ -139,4 +223,27 @@ class BipolarDotProductEngine:
         summed = tree.reduce(products)
         return BipolarDotProductResult(
             count=count_ones(summed), length=self.length, tree_scale=1 << depth
+        )
+
+    def _dot_packed(
+        self, x_words: np.ndarray, weights: np.ndarray
+    ) -> BipolarDotProductResult:
+        """Packed-word evaluation, bit-identical to :meth:`_dot_unpacked`."""
+        w_words = self.weight_words(weights)
+        products = packed_xnor(x_words, w_words, self.length)
+
+        taps = products.shape[-2]
+        tree = AdderTree(self._adder_factory())
+        depth = tree.depth(taps)
+        padded_taps = 1 << depth
+        if padded_taps != taps:
+            pad = np.broadcast_to(
+                packed_alternating(self.length),
+                products.shape[:-2] + (padded_taps - taps, products.shape[-1]),
+            )
+            products = np.concatenate([products, pad], axis=-2)
+
+        summed = tree.reduce_packed(products, self.length)
+        return BipolarDotProductResult(
+            count=packed_popcount(summed), length=self.length, tree_scale=1 << depth
         )

@@ -24,13 +24,13 @@ baseline in Table 3).
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Tuple
 
 import numpy as np
 
 from ..bitstream import stream_length
+from ..bitstream.backend import BACKENDS, resolve_backend, validate_backend
 from ..bitstream.packed import packed_popcount
 from ..rng import (
     ComparatorSNG,
@@ -56,34 +56,9 @@ __all__ = [
     "old_sc_engine",
 ]
 
-#: Supported simulation backends: ``"packed"`` stores 64 stream bits per
-#: uint64 word and runs word-level kernels (bit-identical results, roughly an
-#: order of magnitude faster); ``"unpacked"`` keeps one uint8 byte per bit.
-BACKENDS = ("packed", "unpacked")
-
-
-def validate_backend(backend: str) -> str:
-    """Raise ``ValueError`` unless ``backend`` names a supported backend."""
-    if backend not in BACKENDS:
-        raise ValueError(
-            f"unknown backend {backend!r}; expected one of {BACKENDS}"
-        )
-    return backend
-
-
-def resolve_backend(backend: Optional[str] = None) -> str:
-    """Resolve and validate a backend choice.
-
-    Precedence: an explicitly passed value beats the ``REPRO_BACKEND``
-    environment variable, which beats the ``"packed"`` default.  This is the
-    single resolution rule shared by the CLI and the experiment configs.
-    Only ``None`` defers to the environment -- an explicit empty string is
-    rejected like any other invalid name -- while an empty/unset environment
-    variable falls back to the default.
-    """
-    if backend is None:
-        backend = os.environ.get("REPRO_BACKEND") or "packed"
-    return validate_backend(backend)
+# Backend selection lives in the shared representation layer
+# (repro.bitstream.backend); re-exported here because the engines are its
+# primary consumers and existing callers import it from this module.
 
 
 def split_weights(weights: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -302,6 +277,11 @@ class StochasticDotProductEngine:
         def make_mux() -> MuxAdder:
             # Give every tree node its own select source so node outputs stay
             # mutually uncorrelated, mirroring independent hardware LFSRs.
+            # The counter deliberately advances across dot()/dot_prepared()
+            # calls: sequential kernel evaluations on one engine see
+            # *continuing* select streams, modelling free-running hardware
+            # sources (the bipolar engine, whose ablation needs repeatable
+            # single evaluations, resets its counter per call instead).
             self._mux_seed_counter += 1
             return MuxAdder(seed=self.seed * 1000 + self._mux_seed_counter)
 

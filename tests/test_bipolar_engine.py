@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.sc import BipolarDotProductEngine, new_sc_engine
+from repro.sc.bipolar import BipolarDotProductResult
 
 
 class TestConstruction:
@@ -13,6 +14,15 @@ class TestConstruction:
             BipolarDotProductEngine(precision=1)
         with pytest.raises(ValueError):
             BipolarDotProductEngine(adder="or")
+        with pytest.raises(ValueError):
+            BipolarDotProductEngine(backend="simd")
+
+    def test_backend_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert BipolarDotProductEngine().backend == "packed"
+        assert BipolarDotProductEngine(backend="unpacked").backend == "unpacked"
+        monkeypatch.setenv("REPRO_BACKEND", "unpacked")
+        assert BipolarDotProductEngine().backend == "unpacked"
 
     def test_length(self):
         assert BipolarDotProductEngine(precision=6).length == 64
@@ -72,6 +82,98 @@ class TestAccuracy:
         result = engine.dot(x, w)
         # The reconstructed value must stay within the representable range.
         assert abs(result.value[()]) <= result.tree_scale
+
+
+class TestSignActivation:
+    def test_sign_tie_resolves_to_plus_one(self):
+        # A hardware sign activation emits +-1 only: the exact mid-scale tie
+        # 2 * count == length is defined as +1, never 0.
+        result = BipolarDotProductResult(
+            count=np.array([8, 0, 16, 9, 7]), length=16, tree_scale=4
+        )
+        np.testing.assert_array_equal(result.sign, [1, -1, 1, 1, -1])
+        assert result.sign.dtype == np.int8
+
+    def test_sign_never_zero(self):
+        rng = np.random.default_rng(2)
+        engine = BipolarDotProductEngine(precision=4)
+        for trial in range(20):
+            x = rng.random(9)
+            w = rng.uniform(-1, 1, 9)
+            assert np.all(np.isin(engine.dot(x, w).sign, (-1, 1))), trial
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("adder", ["tff", "mux"])
+    def test_repeated_dot_calls_are_identical(self, adder):
+        # The MUX select seed counter must reset per dot() call: one engine
+        # evaluating the same inputs twice returns the same counts.
+        rng = np.random.default_rng(5)
+        x = rng.random((3, 9))
+        w = rng.uniform(-1, 1, 9)
+        engine = BipolarDotProductEngine(precision=6, adder=adder, seed=2)
+        first = engine.dot(x, w)
+        second = engine.dot(x, w)
+        np.testing.assert_array_equal(first.count, second.count)
+
+    def test_repeated_calls_match_fresh_engine(self):
+        rng = np.random.default_rng(6)
+        x = rng.random(25)
+        w = rng.uniform(-1, 1, 25)
+        engine = BipolarDotProductEngine(precision=5, adder="mux", seed=3)
+        engine.dot(x, rng.uniform(-1, 1, 25))  # unrelated earlier call
+        reused = engine.dot(x, w)
+        fresh = BipolarDotProductEngine(precision=5, adder="mux", seed=3).dot(x, w)
+        np.testing.assert_array_equal(reused.count, fresh.count)
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("adder", ["tff", "mux"])
+    # Odd/prime tap counts exercise the bipolar-zero padding; precisions 3
+    # and 5 give stream lengths (8, 32) that are not multiples of 64, where
+    # tail-word masking matters, 7 gives two full words per stream.
+    @pytest.mark.parametrize("taps", [2, 3, 5, 9, 25])
+    @pytest.mark.parametrize("precision", [3, 5, 7])
+    def test_backends_bit_identical(self, adder, taps, precision):
+        rng = np.random.default_rng(precision * 100 + taps)
+        x = rng.random((4, taps))
+        w = rng.uniform(-1, 1, taps)
+        packed = BipolarDotProductEngine(
+            precision=precision, adder=adder, seed=7, backend="packed"
+        ).dot(x, w)
+        unpacked = BipolarDotProductEngine(
+            precision=precision, adder=adder, seed=7, backend="unpacked"
+        ).dot(x, w)
+        np.testing.assert_array_equal(packed.count, unpacked.count)
+        np.testing.assert_array_equal(packed.sign, unpacked.sign)
+        assert packed.tree_scale == unpacked.tree_scale
+        assert packed.length == unpacked.length
+
+    def test_stream_generation_round_trips(self):
+        from repro.bitstream import unpack_bits
+
+        engine = BipolarDotProductEngine(precision=5)
+        values = np.linspace(-1.0, 1.0, 7)
+        np.testing.assert_array_equal(
+            unpack_bits(engine.input_words(values), engine.length),
+            engine.input_streams(values),
+        )
+        np.testing.assert_array_equal(
+            unpack_bits(engine.weight_words(values), engine.length),
+            engine.weight_streams(values),
+        )
+
+    def test_prepared_inputs_reusable_across_kernels(self):
+        rng = np.random.default_rng(9)
+        x = rng.random((3, 9))
+        kernels = rng.uniform(-1, 1, (4, 9))
+        for backend in ("packed", "unpacked"):
+            engine = BipolarDotProductEngine(precision=5, backend=backend)
+            prepared = engine.prepare_inputs(x)
+            for kernel in kernels:
+                direct = engine.dot(x, kernel)
+                reused = engine.dot_prepared(prepared, kernel)
+                np.testing.assert_array_equal(direct.count, reused.count)
 
 
 class TestPaperClaim:

@@ -31,6 +31,15 @@ class TestParser:
         assert args.quick and args.no_retrain_row
         assert args.train_size == 200
 
+    def test_activity_flags(self):
+        args = build_parser().parse_args(
+            ["activity", "--precision", "5", "--taps", "9", "--backend", "unpacked"]
+        )
+        assert args.precision == 5 and args.taps == 9
+        assert args.backend == "unpacked"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["activity", "--backend", "simd"])
+
 
 class TestCommands:
     def test_table1_command(self, capsys):
@@ -54,6 +63,30 @@ class TestCommands:
     def test_hardware_raw_command(self, capsys):
         assert main(["hardware", "--precisions", "8", "--raw"]) == 0
         assert "raw model" in capsys.readouterr().out
+
+    def test_activity_command_backends_agree(self, capsys):
+        # The switching-activity simulation must report identical toggle
+        # totals on both simulator backends.
+        outputs = {}
+        for backend in ("packed", "unpacked"):
+            assert main(
+                ["activity", "--precision", "4", "--taps", "4", "--backend", backend]
+            ) == 0
+            out = capsys.readouterr().out
+            assert "total toggles" in out
+            assert f"backend={backend}" in out
+            outputs[backend] = [
+                line
+                for line in out.splitlines()
+                if ":" in line and "backend=" not in line
+            ]
+        assert outputs["packed"] == outputs["unpacked"]
+
+    def test_activity_rejects_bad_args(self):
+        with pytest.raises(SystemExit):
+            main(["activity", "--precision", "1"])
+        with pytest.raises(SystemExit):
+            main(["activity", "--taps", "1"])
 
     def test_claims_command(self, capsys):
         assert main(["claims"]) == 0

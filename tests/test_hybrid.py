@@ -118,6 +118,36 @@ class TestCalibratedEmulator:
         with pytest.raises(ValueError):
             emulator.forward(np.zeros((1, 8, 8)), kernels)  # kernels not 3-D
 
+    def test_bipolar_engine_calibrates(self, setup):
+        # The Section IV-B ablation engine is emulable too: the calibrated
+        # quantity is the single counter's offset from the N/2 decision point.
+        from repro.sc import BipolarDotProductEngine
+
+        inputs, kernels = setup
+        engine = BipolarDotProductEngine(precision=6)
+        emulator = CalibratedSCEmulator(engine, seed=1)
+        model = emulator.calibrate(inputs[:64], kernels)
+        assert model.samples == 64 * 4
+        # Residuals are measured against the decision point the sign
+        # activation uses, so the calibrated model must track it closely
+        # enough for sign emulation (bipolar error is larger than split).
+        assert abs(model.bias) < 8.0
+
+        sign = emulator.forward_patches(inputs[np.newaxis, :32], kernels)
+        assert sign.shape == (1, 32, 4)
+        assert np.all(np.isin(sign, (-1.0, 1.0)))
+
+        # Emulated signs agree with the bit-exact bipolar engine on
+        # confidently-signed dot products.
+        exact = np.stack(
+            [engine.dot(inputs[:32], kernel).sign for kernel in kernels], axis=-1
+        )
+        values = np.stack(
+            [engine.dot(inputs[:32], kernel).value for kernel in kernels], axis=-1
+        )
+        confident = np.abs(values) > 0.5
+        assert np.mean(exact[confident] == sign[0][confident]) > 0.8
+
 
 @pytest.fixture(scope="module")
 def trained_hybrid_setup():
