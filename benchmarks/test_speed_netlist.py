@@ -1,11 +1,13 @@
 """Benchmark: packed netlist simulator and bipolar engine vs. their references.
 
-Times the two paths this change moved onto the packed-word backend -- the
-activity-capturing netlist simulation behind the Table 3 power numbers and
-the Section IV-B bipolar dot-product engine -- asserts each meets its >= 5x
-speedup floor (the acceptance criterion of the packed follow-up change), and
-writes a ``BENCH_netlist.json`` artifact so the speedup trajectory can be
-tracked across commits, alongside ``BENCH_packed.json``.
+Times the paths the packed-word backend accelerates -- the
+activity-capturing netlist simulation behind the Table 3 power numbers, the
+Section IV-B bipolar dot-product engine, the LFSR/SNG netlists that used to
+force the per-cycle fallback (now resolved word-parallel through narrow
+feedback cores with periodic wrapping), and batched multi-trace simulation
+-- asserts each meets its speedup floor, and writes a ``BENCH_netlist.json``
+artifact so the speedup trajectory can be tracked across commits, alongside
+``BENCH_packed.json``.
 
 Timings use best-of-``REPEATS`` wall-clock so a single scheduler hiccup on a
 loaded CI machine cannot fail the regression assertion.
@@ -17,7 +19,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.netlist import build_sc_dot_product, simulate
+from repro.netlist import build_sc_dot_product, build_sng, simulate, simulate_batch
+from repro.rng import MAXIMAL_TAPS
 from repro.sc import BipolarDotProductEngine
 
 ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_netlist.json"
@@ -77,6 +80,111 @@ def test_packed_netlist_toggle_count_speedup():
             "total_toggles": packed.total_toggles(),
             "unpacked_seconds": unpacked_s,
             "packed_seconds": packed_s,
+            "speedup": speedup,
+        }
+    )
+
+
+def test_packed_sng_speedup_at_4096():
+    # The SNG netlist (8-bit LFSR + comparator) used to force the packed
+    # backend onto the cycle-loop fallback; the feedback-core resolution
+    # must now deliver an order-of-magnitude speedup at Table 3 stream
+    # lengths (the acceptance floor of this change is 10x at 4096 cycles).
+    bits, cycles = 8, 4096
+    netlist = build_sng(bits, MAXIMAL_TAPS[bits])
+    rng = np.random.default_rng(2)
+    stimulus = {
+        net: rng.integers(0, 2, cycles).astype(np.uint8)
+        for net in netlist.primary_inputs
+    }
+
+    unpacked_s, unpacked = best_of(
+        lambda: simulate(netlist, stimulus, backend="unpacked")
+    )
+    packed_s, packed = best_of(
+        lambda: simulate(netlist, stimulus, backend="packed")
+    )
+
+    assert packed.toggles == unpacked.toggles
+    for net in unpacked.waveforms:
+        np.testing.assert_array_equal(packed.waveforms[net], unpacked.waveforms[net])
+
+    speedup = unpacked_s / packed_s
+    print(
+        f"\nSNG netlist (LFSR feedback core), {len(netlist.instances)} cells x "
+        f"{cycles} cycles: cycle loop {unpacked_s * 1e3:.0f} ms, "
+        f"packed {packed_s * 1e3:.1f} ms ({speedup:.1f}x)"
+    )
+    assert speedup >= 10.0, (
+        f"packed SNG simulation only {speedup:.1f}x faster than the cycle "
+        f"loop (floor is 10x at {cycles} cycles)"
+    )
+
+    _write_artifact(
+        sng_toggle_count={
+            "circuit": netlist.name,
+            "cells": len(netlist.instances),
+            "cycles": cycles,
+            "lfsr_period": (1 << bits) - 1,
+            "total_toggles": packed.total_toggles(),
+            "unpacked_seconds": unpacked_s,
+            "packed_seconds": packed_s,
+            "speedup": speedup,
+        }
+    )
+
+
+def test_batched_multi_trace_speedup():
+    # One batched word-parallel run over a whole trace set vs. the same
+    # traces simulated one by one on the (already fast) packed backend.
+    taps, counter_bits, cycles, traces = 25, 9, 1024, 32
+    netlist = build_sc_dot_product(taps, counter_bits, adder="tff")
+    rng = np.random.default_rng(3)
+    stimulus = {
+        net: rng.integers(0, 2, (traces, cycles)).astype(np.uint8)
+        for net in netlist.primary_inputs
+    }
+
+    def sequential():
+        return [
+            simulate(
+                netlist,
+                {net: wave[k] for net, wave in stimulus.items()},
+                backend="packed",
+            )
+            for k in range(traces)
+        ]
+
+    sequential_s, singles = best_of(sequential)
+    batched_s, batched = best_of(
+        lambda: simulate_batch(netlist, stimulus, backend="packed")
+    )
+
+    for k in (0, traces // 2, traces - 1):
+        assert batched.trace(k).toggles == singles[k].toggles
+    assert batched.total_toggles() == sum(s.total_toggles() for s in singles)
+
+    speedup = sequential_s / batched_s
+    print(
+        f"\nbatched netlist simulation, {len(netlist.instances)} cells x "
+        f"{cycles} cycles x {traces} traces: sequential packed "
+        f"{sequential_s * 1e3:.0f} ms, batched {batched_s * 1e3:.1f} ms "
+        f"({speedup:.1f}x)"
+    )
+    assert speedup >= 5.0, (
+        f"batched simulation only {speedup:.1f}x faster than per-trace packed "
+        f"runs (floor is 5x at {traces} traces)"
+    )
+
+    _write_artifact(
+        batched_simulation={
+            "circuit": netlist.name,
+            "cells": len(netlist.instances),
+            "cycles": cycles,
+            "traces": traces,
+            "total_toggles": batched.total_toggles(),
+            "sequential_packed_seconds": sequential_s,
+            "batched_seconds": batched_s,
             "speedup": speedup,
         }
     )

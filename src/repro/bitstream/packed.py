@@ -52,6 +52,7 @@ __all__ = [
     "pack_comparator_output",
     "unpack_bits",
     "mask_tail",
+    "extend_periodic",
     "packed_popcount",
     "packed_not",
     "packed_xnor",
@@ -165,6 +166,36 @@ def mask_tail(words: np.ndarray, n_bits: int) -> np.ndarray:
     if rem and arr.shape[-1]:
         arr[..., -1] &= np.uint64((1 << rem) - 1)
     return arr
+
+
+def extend_periodic(
+    bits: np.ndarray, n_bits: int, transient: int, period: int
+) -> np.ndarray:
+    """Extend an eventually-periodic bit prefix to ``n_bits`` positions.
+
+    ``bits`` (time on the last axis) must hold at least the first
+    ``transient + period`` positions of the sequence; the result repeats the
+    ``period``-long cycle after the transient, so position ``t >= transient``
+    takes the value at ``transient + (t - transient) % period``.  This is the
+    wrap kernel behind closed-form LFSR resolution in the packed netlist
+    simulator: an autonomous register core is iterated only until its state
+    repeats, and the recorded waveforms are extended to the full run length
+    here.
+    """
+    arr = np.asarray(bits)
+    if transient < 0:
+        raise ValueError(f"transient must be non-negative, got {transient}")
+    if period < 1:
+        raise ValueError(f"period must be positive, got {period}")
+    if arr.shape[-1] < transient + period:
+        raise ValueError(
+            f"need at least transient + period = {transient + period} "
+            f"positions, got {arr.shape[-1]}"
+        )
+    idx = np.arange(int(n_bits))
+    tail = idx >= transient
+    idx[tail] = transient + (idx[tail] - transient) % period
+    return arr[..., idx]
 
 
 if hasattr(np, "bitwise_count"):

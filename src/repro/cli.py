@@ -17,7 +17,11 @@ REPRO_EVAL_IMAGES, REPRO_BACKEND).  ``table1``, ``table2``, ``accuracy`` and
 simulation backend (both produce bit-identical numbers; packed is ~10x
 faster).  ``activity`` runs the PrimeTime-style switching-annotated power
 estimate: it simulates the Table 3 stochastic dot-product netlist against a
-random bit-stream trace and rolls the per-net toggle counts into power.
+random bit-stream trace and rolls the per-net toggle counts into power;
+``--traces K`` stacks K stimulus sets on a leading axis and covers them all
+with one batched word-parallel simulation.  ``hardware --activity-traces N``
+replaces the assumed activity factor of the stochastic power model by one
+measured the same way.
 """
 
 from __future__ import annotations
@@ -88,6 +92,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--raw", action="store_true",
         help="report the raw gate-count model instead of anchoring to the paper's 8-bit results",
     )
+    hardware.add_argument(
+        "--activity-traces", type=int, default=0, metavar="N",
+        help="measure the SC engine's switching activity from a batched "
+             "netlist simulation over N random input traces instead of "
+             "assuming the technology default",
+    )
 
     accuracy = sub.add_parser("accuracy", help="misclassification rates (Table 3 top)")
     accuracy.add_argument("--precisions", type=_parse_precisions, default=(8, 6, 4, 3, 2))
@@ -112,6 +122,11 @@ def build_parser() -> argparse.ArgumentParser:
     activity.add_argument("--taps", type=int, default=25, help="dot-product tap count")
     activity.add_argument("--adder", choices=("tff", "mux"), default="tff")
     activity.add_argument("--seed", type=int, default=0, help="stimulus RNG seed")
+    activity.add_argument(
+        "--traces", type=int, default=1, metavar="K",
+        help="number of stimulus trace sets, simulated in one batched "
+             "word-parallel run (default 1)",
+    )
     add_backend(activity)
 
     claims = sub.add_parser("claims", help="headline-claim summary (hardware only)")
@@ -132,28 +147,45 @@ def _run_activity(args: argparse.Namespace) -> None:
     import numpy as np
 
     from .hw.technology import DEFAULT_TECH
-    from .netlist import build_sc_dot_product, estimate_power, simulate
+    from .netlist import build_sc_dot_product, estimate_power, simulate, simulate_batch
 
     if args.precision < 2:
         raise SystemExit("repro: error: precision must be at least 2")
     if args.taps < 2:
         raise SystemExit("repro: error: taps must be at least 2")
+    if args.traces < 1:
+        raise SystemExit("repro: error: traces must be at least 1")
     backend = _resolve_backend(args.backend)
     cycles = 1 << args.precision
     netlist = build_sc_dot_product(args.taps, args.precision + 1, adder=args.adder)
     rng = np.random.default_rng(args.seed)
-    stimulus = {
-        net: rng.integers(0, 2, cycles, dtype=np.int64).astype(np.uint8)
-        for net in netlist.primary_inputs
-    }
-    result = simulate(netlist, stimulus, backend=backend)
+    if args.traces == 1:
+        stimulus = {
+            net: rng.integers(0, 2, cycles, dtype=np.int64).astype(np.uint8)
+            for net in netlist.primary_inputs
+        }
+        result = simulate(netlist, stimulus, backend=backend)
+        trace_note = ""
+    else:
+        stimulus = {
+            net: rng.integers(
+                0, 2, (args.traces, cycles), dtype=np.int64
+            ).astype(np.uint8)
+            for net in netlist.primary_inputs
+        }
+        result = simulate_batch(netlist, stimulus, backend=backend)
+        trace_note = f" x {args.traces} traces (batched)"
     report = estimate_power(
         netlist, DEFAULT_TECH.sc_clock_mhz, simulation=result
     )
     print(f"netlist: {netlist.name} ({len(netlist.instances)} cells), "
-          f"{cycles} cycles, backend={backend}")
+          f"{cycles} cycles{trace_note}, backend={backend}")
     print(f"total toggles:      {result.total_toggles()}")
     print(f"average activity:   {result.average_activity():.4f} toggles/cycle/net")
+    if args.traces > 1:
+        per_trace = result.average_activity_per_trace()
+        print(f"activity spread:    {per_trace.min():.4f} .. {per_trace.max():.4f} "
+              f"across traces")
     print(f"dynamic power:      {report.dynamic_mw * 1e3:.2f} uW at "
           f"{report.frequency_mhz:.0f} MHz")
     print(f"leakage power:      {report.leakage_mw * 1e3:.2f} uW")
@@ -193,7 +225,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         backend = _resolve_backend(args.backend)
         print(format_table2(run_table2(precisions=args.precisions, backend=backend)))
     elif args.command == "hardware":
-        result = run_table3_hardware(precisions=args.precisions, calibrate=not args.raw)
+        if args.activity_traces < 0:
+            raise SystemExit("repro: error: --activity-traces must be non-negative")
+        result = run_table3_hardware(
+            precisions=args.precisions,
+            calibrate=not args.raw,
+            activity_traces=args.activity_traces,
+        )
+        if result.measured_activity is not None:
+            print(f"measured SC activity over {args.activity_traces} traces: "
+                  f"{result.measured_activity:.4f} toggles/cycle/net")
         print(format_table3_hardware(result))
     elif args.command == "accuracy":
         result = run_table3_accuracy(_accuracy_config(args))

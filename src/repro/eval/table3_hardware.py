@@ -3,16 +3,24 @@
 Thin wrapper around :class:`repro.hw.comparison.HardwareComparison` that
 returns the rows in the same layout as the paper's table and exposes the
 headline-figure helpers used by the summary experiment (E8).
+
+By default the stochastic engine's switching activity comes from the
+technology assumption; ``activity_traces > 0`` instead *measures* it the way
+PrimeTime would -- the engine netlist is simulated against a whole batch of
+randomly drawn input windows in one word-parallel run
+(:meth:`repro.hybrid.emulation.CalibratedSCEmulator.measure_activity`), and
+the mean per-net toggle rate across the trace set drives the power model.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..hw import HardwareComparison, HardwareComparisonRow
+from ..hw.technology import DEFAULT_GEOMETRY
 
-__all__ = ["Table3HardwareResult", "run_table3_hardware"]
+__all__ = ["Table3HardwareResult", "run_table3_hardware", "measure_sc_activity"]
 
 
 @dataclass
@@ -21,6 +29,9 @@ class Table3HardwareResult:
 
     rows: List[HardwareComparisonRow]
     calibrated: bool
+    #: Trace-measured switching activity of the stochastic engine
+    #: (toggles/cycle/net), or ``None`` when the technology default was used.
+    measured_activity: Optional[float] = None
 
     def by_precision(self) -> Dict[int, HardwareComparisonRow]:
         """Rows indexed by precision."""
@@ -44,10 +55,64 @@ class Table3HardwareResult:
         return self.by_precision()[precision].area_ratio
 
 
+def measure_sc_activity(
+    precision: int,
+    traces: int,
+    taps: int = DEFAULT_GEOMETRY.taps,
+    seed: int = 0,
+) -> float:
+    """Mean switching activity of the SC engine over a random trace batch.
+
+    Draws ``traces`` random input windows and one random kernel, runs one
+    batched packed simulation of the engine netlist at the given precision,
+    and returns the mean toggle rate (toggles per cycle per net) across the
+    whole trace set.
+    """
+    import numpy as np
+
+    from ..hybrid.emulation import CalibratedSCEmulator
+    from ..sc import new_sc_engine
+
+    if traces < 1:
+        raise ValueError(f"traces must be positive, got {traces}")
+    rng = np.random.default_rng(seed)
+    windows = rng.random((traces, taps))
+    weights = rng.uniform(-1.0, 1.0, taps)
+    emulator = CalibratedSCEmulator(new_sc_engine(precision), seed=seed)
+    simulation = emulator.measure_activity(windows, weights)
+    return simulation.average_activity()
+
+
 def run_table3_hardware(
     precisions: Sequence[int] = (8, 7, 6, 5, 4, 3, 2),
     calibrate: bool = True,
+    activity_traces: int = 0,
+    activity_seed: int = 0,
 ) -> Table3HardwareResult:
-    """Build the hardware half of Table 3."""
-    comparison = HardwareComparison(calibrate=calibrate)
-    return Table3HardwareResult(rows=comparison.rows(precisions), calibrated=calibrate)
+    """Build the hardware half of Table 3.
+
+    Parameters
+    ----------
+    precisions:
+        Precision columns to evaluate.
+    calibrate:
+        Anchor the absolute scale to the paper's 8-bit synthesis results.
+    activity_traces:
+        When positive, replace the assumed stochastic-engine activity factor
+        by one measured from a batched netlist simulation over this many
+        random input traces (at the highest requested precision; activity is
+        nearly precision-independent).
+    activity_seed:
+        RNG seed for the measurement traces.
+    """
+    measured: Optional[float] = None
+    if activity_traces:
+        measured = measure_sc_activity(
+            max(precisions), activity_traces, seed=activity_seed
+        )
+    comparison = HardwareComparison(calibrate=calibrate, sc_activity=measured)
+    return Table3HardwareResult(
+        rows=comparison.rows(precisions),
+        calibrated=calibrate,
+        measured_activity=measured,
+    )

@@ -22,7 +22,12 @@ from .power import (
     estimate_area_mm2,
     estimate_power,
 )
-from .simulator import SimulationResult, simulate
+from .simulator import (
+    BatchSimulationResult,
+    SimulationResult,
+    simulate,
+    simulate_batch,
+)
 
 __all__ = [
     "Cell",
@@ -32,7 +37,9 @@ __all__ = [
     "Instance",
     "Netlist",
     "SimulationResult",
+    "BatchSimulationResult",
     "simulate",
+    "simulate_batch",
     "PowerReport",
     "estimate_power",
     "estimate_area_mm2",

@@ -68,7 +68,12 @@ class Cell:
         past the stream length.  For sequential cells:
         ``word_logic(inputs, n_bits, initial_state)`` returns the full Q
         waveform(s) in closed form (DFF: one-cycle delay, TFF: prefix-parity
-        scan).  ``None`` means the cell has no packed fast path.
+        scan).  Implementations must keep words on the *last* axis and
+        broadcast over any leading axes: batched multi-trace simulation
+        (:func:`repro.netlist.simulator.simulate_batch`) passes waveform
+        arrays of shape ``(traces, words)`` mixed with shared ``(words,)``
+        arrays through the very same functions.  ``None`` means the cell has
+        no packed fast path and forces the cycle-loop backend.
     """
 
     name: str

@@ -17,10 +17,10 @@ analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from .netlist import Netlist
-from .simulator import SimulationResult
+from .simulator import BatchSimulationResult, SimulationResult
 
 __all__ = ["PowerReport", "estimate_area_mm2", "estimate_power", "energy_per_frame_nj"]
 
@@ -65,7 +65,7 @@ def estimate_power(
     netlist: Netlist,
     frequency_mhz: float,
     activity: Optional[float] = None,
-    simulation: Optional[SimulationResult] = None,
+    simulation: Optional[Union[SimulationResult, BatchSimulationResult]] = None,
 ) -> PowerReport:
     """Estimate dynamic + leakage power of a netlist.
 
@@ -80,7 +80,10 @@ def estimate_power(
         ``simulation`` result is supplied.
     simulation:
         A :class:`SimulationResult` whose per-net toggle counts provide
-        switching-annotated activity (the PrimeTime-style estimate).
+        switching-annotated activity (the PrimeTime-style estimate), or a
+        :class:`BatchSimulationResult` from a multi-trace run
+        (:func:`repro.netlist.simulator.simulate_batch`), in which case each
+        net's activity is its mean toggle rate across the whole trace set.
     """
     if frequency_mhz <= 0:
         raise ValueError("frequency must be positive")

@@ -13,6 +13,8 @@ The simulation model is the standard zero-delay cycle model:
   sequential cells present their stored state on their outputs;
 * at the end of the cycle, sequential cells capture their next state.
 
+Backend selection
+-----------------
 Two execution backends produce that model's results (selected by the same
 ``backend="packed"|"unpacked"`` / ``REPRO_BACKEND`` convention as the
 stochastic dot-product engines, see
@@ -27,30 +29,63 @@ stochastic dot-product engines, see
   a one-cycle packed delay, a TFF a word-parallel prefix-parity scan -- in
   topological order of the *register* dependency graph.  Toggle counts come
   from the ``popcount(w ^ (w >> 1))`` word kernel
-  (:func:`repro.bitstream.packed.packed_transition_count`).  Netlists whose
-  registers form a combinational feedback cycle (e.g. an LFSR) have no such
-  closed form; those fall back to the cycle loop automatically, so results
-  are always bit-identical to ``"unpacked"``.
+  (:func:`repro.bitstream.packed.packed_transition_count`).
+
+Netlists whose registers form a combinational feedback cycle (e.g. an LFSR,
+or the accumulator loop of a binary MAC) have no per-register closed form.
+The packed backend resolves them without abandoning word parallelism: the
+stalled instances are grouped into strongly connected components of the
+register dependency graph, and only that narrow feedback *core* is iterated
+cycle by cycle over its state vector.  Autonomous cores (all external inputs
+constant, the LFSR case) additionally stop at the first repeated register
+state and wrap the periodic waveform out to the full run length
+(:func:`repro.bitstream.packed.extend_periodic`), so an ``n``-bit LFSR costs
+``min(cycles, period)`` scalar steps regardless of the simulation length.
+The packed core waveforms then feed the ordinary word-parallel evaluation of
+everything downstream (comparators, trees, counters), so results stay
+bit-identical to ``"unpacked"`` on every netlist.  The only remaining
+cycle-loop fallback is a cell without a ``word_logic`` implementation, which
+no library cell triggers.
+
+Batched multi-trace simulation
+------------------------------
+:func:`simulate_batch` evaluates one netlist against ``K`` stimulus sets in
+a single packed run: per-net stimulus arrays carry the traces on a leading
+axis (shape ``(K, cycles)``; 1-D arrays are shared by every trace, e.g.
+weight streams), every word kernel broadcasts over that axis, and the result
+(:class:`BatchSimulationResult`) holds ``(K, cycles)`` waveforms and
+``(K,)`` toggle vectors per net.  Batched results plug directly into
+:func:`repro.netlist.power.estimate_power`, which then uses the mean
+activity across traces -- this is how one packed run covers an entire MNIST
+trace set in the Table 3 activity path.  Shared-input feedback cores are
+resolved once and broadcast; cores fed by per-trace waveforms are iterated
+per trace.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
 
 import numpy as np
 
 from ..bitstream.backend import resolve_backend
 from ..bitstream.packed import (
+    extend_periodic,
     mask_tail,
     pack_bits,
     packed_transition_count,
     unpack_bits,
     words_for,
 )
-from .netlist import Netlist
+from .netlist import Instance, Netlist
 
-__all__ = ["SimulationResult", "simulate"]
+__all__ = [
+    "SimulationResult",
+    "BatchSimulationResult",
+    "simulate",
+    "simulate_batch",
+]
 
 
 @dataclass
@@ -85,6 +120,97 @@ class SimulationResult:
         return self.total_toggles() / (len(self.toggles) * (self.cycles - 1))
 
 
+@dataclass
+class BatchSimulationResult:
+    """Waveforms and switching activity for a whole batch of stimulus traces.
+
+    The batched counterpart of :class:`SimulationResult`: waveforms gain a
+    leading trace axis and toggle counts become per-trace vectors.  The
+    scalar accessors (:meth:`activity`, :meth:`average_activity`,
+    :meth:`total_toggles`) aggregate over the batch so a batched result can
+    be passed to :func:`repro.netlist.power.estimate_power` unchanged.
+    """
+
+    #: Number of simulated cycles per trace.
+    cycles: int
+    #: Number of stimulus traces in the batch.
+    batch: int
+    #: Recorded waveforms: net name -> uint8 array of shape ``(batch, cycles)``.
+    waveforms: Dict[str, np.ndarray]
+    #: Toggle counts per net: int64 array of shape ``(batch,)``.
+    toggles: Dict[str, np.ndarray]
+
+    def waveform(self, net: str) -> np.ndarray:
+        """Recorded waveforms of one net, shape ``(batch, cycles)``."""
+        return self.waveforms[net]
+
+    def trace(self, k: int) -> SimulationResult:
+        """The ``k``-th trace as a standalone :class:`SimulationResult`."""
+        return SimulationResult(
+            cycles=self.cycles,
+            waveforms={net: wave[k] for net, wave in self.waveforms.items()},
+            toggles={net: int(counts[k]) for net, counts in self.toggles.items()},
+        )
+
+    def activity(self, net: str) -> float:
+        """Mean toggle rate of a net across the batch (toggles per cycle)."""
+        if self.cycles <= 1:
+            return 0.0
+        return float(np.mean(self.toggles[net])) / (self.cycles - 1)
+
+    def activity_per_trace(self, net: str) -> np.ndarray:
+        """Per-trace toggle rates of a net, shape ``(batch,)``."""
+        if self.cycles <= 1:
+            return np.zeros(self.batch, dtype=np.float64)
+        return self.toggles[net] / (self.cycles - 1)
+
+    def total_toggles(self) -> int:
+        """Sum of toggle counts over all nets and traces."""
+        return int(sum(int(counts.sum()) for counts in self.toggles.values()))
+
+    def average_activity(self) -> float:
+        """Mean toggle rate across all nets and traces."""
+        if not self.toggles or self.cycles <= 1:
+            return 0.0
+        return self.total_toggles() / (
+            len(self.toggles) * self.batch * (self.cycles - 1)
+        )
+
+    def average_activity_per_trace(self) -> np.ndarray:
+        """Mean toggle rate across nets for each trace, shape ``(batch,)``."""
+        if not self.toggles or self.cycles <= 1:
+            return np.zeros(self.batch, dtype=np.float64)
+        total = np.zeros(self.batch, dtype=np.int64)
+        for counts in self.toggles.values():
+            total = total + counts
+        return total / (len(self.toggles) * (self.cycles - 1))
+
+
+# --------------------------------------------------------------------------- #
+# shared stimulus / record validation
+# --------------------------------------------------------------------------- #
+def _driven_nets(netlist: Netlist) -> List[str]:
+    """All driven nets in deterministic order: inputs, then instance outputs."""
+    nets: List[str] = list(netlist.primary_inputs)
+    for inst in netlist.instances:
+        nets.extend(inst.outputs)
+    return nets
+
+
+def _validate_record(
+    netlist: Netlist, record: Optional[Sequence[str]], nets: List[str]
+) -> List[str]:
+    record = list(record) if record is not None else list(netlist.primary_outputs)
+    known = set(nets) | set(netlist.CONSTANT_NETS)
+    unknown = [net for net in record if net not in known]
+    if unknown:
+        raise ValueError(
+            f"cannot record nets that do not exist in netlist "
+            f"{netlist.name!r}: {unknown}"
+        )
+    return record
+
+
 def simulate(
     netlist: Netlist,
     stimulus: Mapping[str, Sequence[int] | np.ndarray],
@@ -109,10 +235,11 @@ def simulate(
         otherwise).  Toggle counts are always collected for *all* nets.
     backend:
         ``"packed"`` evaluates each cell on whole 64-cycles-per-word uint64
-        waveform words; ``"unpacked"`` runs the per-cycle cell loop.  Both
-        produce bit-identical results (packed falls back to the cycle loop
-        for register feedback cycles).  ``None`` defers to ``REPRO_BACKEND``,
-        then ``"packed"``.
+        waveform words, resolving register feedback cores (LFSRs, accumulator
+        loops) by narrow per-cycle state iteration with periodic wrapping;
+        ``"unpacked"`` runs the per-cycle cell loop.  Both produce
+        bit-identical results on every netlist.  ``None`` defers to
+        ``REPRO_BACKEND``, then ``"packed"``.
 
     Returns
     -------
@@ -131,6 +258,12 @@ def simulate(
         net: (np.asarray(stimulus[net]) != 0).astype(np.uint8)
         for net in netlist.primary_inputs
     }
+    for net, wave in waves.items():
+        if wave.ndim != 1:
+            raise ValueError(
+                f"stimulus for {net!r} must be one-dimensional, got shape "
+                f"{wave.shape}; use simulate_batch() for stacked trace sets"
+            )
     if cycles is None:
         if not waves:
             raise ValueError("cycle count required for a netlist with no inputs")
@@ -141,26 +274,143 @@ def simulate(
                 f"stimulus for {net!r} has {len(wave)} cycles, need {cycles}"
             )
 
-    # All driven nets, in a deterministic order: primary inputs first, then
-    # every instance output.  These are the nets whose toggles are counted.
-    nets: List[str] = list(netlist.primary_inputs)
-    for inst in netlist.instances:
-        nets.extend(inst.outputs)
-
-    record = list(record) if record is not None else list(netlist.primary_outputs)
-    known = set(nets) | set(netlist.CONSTANT_NETS)
-    unknown = [net for net in record if net not in known]
-    if unknown:
-        raise ValueError(
-            f"cannot record nets that do not exist in netlist "
-            f"{netlist.name!r}: {unknown}"
-        )
+    nets = _driven_nets(netlist)
+    record = _validate_record(netlist, record, nets)
 
     if backend == "packed":
         result = _simulate_packed(netlist, waves, int(cycles), record, nets)
         if result is not None:
             return result
     return _simulate_cycle_loop(netlist, waves, int(cycles), record, nets)
+
+
+def simulate_batch(
+    netlist: Netlist,
+    stimulus: Mapping[str, Sequence[Sequence[int]] | np.ndarray],
+    cycles: Optional[int] = None,
+    record: Optional[Sequence[str]] = None,
+    backend: Optional[str] = None,
+    batch: Optional[int] = None,
+) -> BatchSimulationResult:
+    """Simulate a netlist against a whole batch of stimulus traces at once.
+
+    Semantically identical to calling :func:`simulate` once per trace and
+    stacking the results (that is literally what ``backend="unpacked"``
+    does); the packed backend evaluates all traces in one word-parallel run,
+    which is how a full MNIST trace set is covered by a single simulation.
+
+    Parameters
+    ----------
+    netlist:
+        The circuit to simulate.
+    stimulus:
+        Mapping from primary-input net name to per-cycle bit values.  2-D
+        arrays of shape ``(batch, cycles)`` carry one waveform per trace;
+        1-D arrays of shape ``(cycles,)`` are shared by every trace (e.g.
+        weight or select streams that do not change between images).
+    cycles:
+        Number of cycles per trace; defaults to the shortest stimulus.
+    record:
+        Net names whose waveforms should be returned (defaults to the
+        primary outputs); toggle counts cover all nets, per trace.
+    backend:
+        Same convention as :func:`simulate`.
+    batch:
+        Explicit batch size; only needed when no stimulus entry is 2-D
+        (e.g. an input-less netlist or all-shared stimulus).
+
+    Returns
+    -------
+    BatchSimulationResult
+    """
+    backend = resolve_backend(backend)
+    netlist.validate()
+
+    missing = [net for net in netlist.primary_inputs if net not in stimulus]
+    if missing:
+        raise ValueError(f"missing stimulus for primary inputs: {missing}")
+
+    waves: Dict[str, np.ndarray] = {}
+    inferred: Optional[int] = None
+    for net in netlist.primary_inputs:
+        arr = (np.asarray(stimulus[net]) != 0).astype(np.uint8)
+        if arr.ndim == 2:
+            if inferred is None:
+                inferred = arr.shape[0]
+            elif arr.shape[0] != inferred:
+                raise ValueError(
+                    f"inconsistent batch sizes in stimulus: {inferred} vs "
+                    f"{arr.shape[0]} for {net!r}"
+                )
+        elif arr.ndim != 1:
+            raise ValueError(
+                f"stimulus for {net!r} must be 1-D (shared) or 2-D "
+                f"(batch, cycles), got shape {arr.shape}"
+            )
+        waves[net] = arr
+    if batch is not None:
+        batch = int(batch)
+        if batch < 1:
+            raise ValueError(f"batch must be positive, got {batch}")
+        if inferred is not None and inferred != batch:
+            raise ValueError(
+                f"explicit batch={batch} contradicts 2-D stimulus with "
+                f"{inferred} traces"
+            )
+    elif inferred is not None:
+        if inferred < 1:
+            raise ValueError(
+                "batched simulation needs at least one trace; got 2-D "
+                "stimulus with a leading axis of 0"
+            )
+        batch = inferred
+    else:
+        raise ValueError(
+            "cannot infer the batch size: pass at least one 2-D stimulus "
+            "array of shape (batch, cycles) or an explicit batch="
+        )
+
+    if cycles is None:
+        if not waves:
+            raise ValueError("cycle count required for a netlist with no inputs")
+        cycles = min(w.shape[-1] for w in waves.values())
+    for net, wave in waves.items():
+        if wave.shape[-1] < cycles:
+            raise ValueError(
+                f"stimulus for {net!r} has {wave.shape[-1]} cycles, need {cycles}"
+            )
+
+    nets = _driven_nets(netlist)
+    record = _validate_record(netlist, record, nets)
+    cycles = int(cycles)
+
+    if backend == "packed":
+        result = _simulate_packed(netlist, waves, cycles, record, nets, batch=batch)
+        if result is not None:
+            return result
+
+    # Reference semantics: one independent cycle-loop run per trace.
+    per_trace = [
+        _simulate_cycle_loop(
+            netlist,
+            {net: (w if w.ndim == 1 else w[k]) for net, w in waves.items()},
+            cycles,
+            record,
+            nets,
+        )
+        for k in range(batch)
+    ]
+    return BatchSimulationResult(
+        cycles=cycles,
+        batch=batch,
+        waveforms={
+            net: np.stack([r.waveforms[net] for r in per_trace]) for net in record
+        },
+        toggles={
+            net: np.array([r.toggles[net] for r in per_trace], dtype=np.int64)
+            for net in nets
+        },
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -224,15 +474,20 @@ def _simulate_packed(
     cycles: int,
     record: List[str],
     nets: List[str],
-) -> Optional[SimulationResult]:
-    """Word-parallel simulation; ``None`` when the netlist needs the cycle loop.
+    batch: Optional[int] = None,
+):
+    """Word-parallel simulation of one trace (``batch=None``) or a batch.
 
     Combinational cells are evaluated once on packed full-run waveforms;
     sequential cells are resolved in closed form (their ``word_logic``) as
     soon as their input waveforms are known.  The interleaved worklist below
-    terminates exactly when the register dependency graph is acyclic -- any
-    combinational feedback through registers (LFSR-style) stalls it, and the
-    caller falls back to the cycle loop.
+    stalls exactly when the register dependency graph has a cycle
+    (LFSR-style feedback); the stalled strongly connected components are
+    then resolved by :func:`_resolve_register_cores` -- a narrow per-cycle
+    iteration of just the feedback core -- and the worklist resumes.
+    Returns ``None`` only when a cell lacks a ``word_logic`` implementation
+    (never the case for the built-in library), in which case the caller
+    falls back to the cycle loop.
     """
     if any(inst.cell.word_logic is None for inst in netlist.instances):
         return None
@@ -244,9 +499,10 @@ def _simulate_packed(
         "1": ones,
     }
     for net in netlist.primary_inputs:
-        values[net] = pack_bits(waves[net][:cycles])
+        values[net] = pack_bits(waves[net][..., :cycles])
 
-    pending_comb = netlist.topological_order()
+    comb_order = netlist.topological_order()
+    pending_comb = list(comb_order)
     pending_seq = netlist.sequential_instances()
     while pending_comb or pending_seq:
         progress = False
@@ -277,10 +533,262 @@ def _simulate_packed(
                 still_seq.append(inst)
         pending_seq = still_seq
         if not progress:
-            return None  # register feedback cycle: no closed form
+            # Register feedback: resolve the ready strongly connected
+            # components of the stuck dependency graph, then keep going
+            # word-parallel on everything they unblock.
+            resolved = _resolve_register_cores(
+                pending_comb + pending_seq, comb_order, values, cycles, batch
+            )
+            pending_comb = [i for i in pending_comb if id(i) not in resolved]
+            pending_seq = [i for i in pending_seq if id(i) not in resolved]
 
-    recorded = {net: unpack_bits(values[net], cycles) for net in record}
-    toggles = {
-        net: int(packed_transition_count(values[net], cycles)) for net in nets
-    }
-    return SimulationResult(cycles=cycles, waveforms=recorded, toggles=toggles)
+    if batch is None:
+        recorded = {net: unpack_bits(values[net], cycles) for net in record}
+        toggles = {
+            net: int(packed_transition_count(values[net], cycles)) for net in nets
+        }
+        return SimulationResult(cycles=cycles, waveforms=recorded, toggles=toggles)
+
+    # Nets driven only by shared (1-D) stimulus keep 1-D waveforms that are
+    # identical for every trace: compute their waveform / toggle count once
+    # and broadcast the *result*, instead of running the kernels over batch
+    # copies of the same words.
+    recorded = {}
+    for net in record:
+        words = values[net]
+        if words.ndim == 1:
+            # tile, not broadcast_to: callers get independent writable rows,
+            # exactly like the unpacked backend returns.
+            recorded[net] = np.tile(unpack_bits(words, cycles), (batch, 1))
+        else:
+            recorded[net] = unpack_bits(words, cycles)
+    toggle_counts = {}
+    for net in nets:
+        words = values[net]
+        if words.ndim == 1:
+            toggle_counts[net] = np.full(
+                batch, int(packed_transition_count(words, cycles)), dtype=np.int64
+            )
+        else:
+            toggle_counts[net] = np.asarray(
+                packed_transition_count(words, cycles), dtype=np.int64
+            )
+    return BatchSimulationResult(
+        cycles=cycles, batch=batch, waveforms=recorded, toggles=toggle_counts
+    )
+
+
+# --------------------------------------------------------------------------- #
+# register feedback cores: narrow per-cycle resolution inside the packed run
+# --------------------------------------------------------------------------- #
+def _strongly_connected(
+    nodes: List[Instance], succs: Dict[int, List[Instance]]
+) -> List[List[Instance]]:
+    """Tarjan's algorithm (iterative) over instances keyed by identity."""
+    index: Dict[int, int] = {}
+    low: Dict[int, int] = {}
+    on_stack: Set[int] = set()
+    stack: List[Instance] = []
+    sccs: List[List[Instance]] = []
+    counter = 0
+
+    for root in nodes:
+        if id(root) in index:
+            continue
+        work = [(root, 0)]
+        while work:
+            node, next_child = work[-1]
+            if next_child == 0:
+                index[id(node)] = low[id(node)] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(id(node))
+            descended = False
+            children = succs[id(node)]
+            for i in range(next_child, len(children)):
+                child = children[i]
+                if id(child) not in index:
+                    work[-1] = (node, i + 1)
+                    work.append((child, 0))
+                    descended = True
+                    break
+                if id(child) in on_stack:
+                    low[id(node)] = min(low[id(node)], index[id(child)])
+            if descended:
+                continue
+            if low[id(node)] == index[id(node)]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(id(member))
+                    component.append(member)
+                    if member is node:
+                        break
+                sccs.append(component)
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[id(parent)] = min(low[id(parent)], low[id(node)])
+    return sccs
+
+
+def _resolve_register_cores(
+    stuck: List[Instance],
+    comb_order: List[Instance],
+    values: Dict[str, np.ndarray],
+    cycles: int,
+    batch: Optional[int],
+) -> Set[int]:
+    """Resolve every *ready* feedback core among the stuck instances.
+
+    A net is unresolved exactly when it is the output of a stuck instance,
+    so the stuck instances form a dependency graph with no source nodes --
+    its condensation's source components are the feedback cores whose
+    external inputs are all resolved.  Each ready core is iterated per cycle
+    over its narrow state vector and its output waveforms are packed into
+    ``values``.  Returns the ``id()`` set of the resolved instances.
+    """
+    produced: Dict[str, Instance] = {}
+    for inst in stuck:
+        for net in inst.outputs:
+            produced[net] = inst
+    succs: Dict[int, List[Instance]] = {id(inst): [] for inst in stuck}
+    self_loops: Set[int] = set()
+    for inst in stuck:
+        for net in dict.fromkeys(inst.inputs):
+            source = produced.get(net)
+            if source is not None:
+                succs[id(source)].append(inst)
+                if source is inst:
+                    self_loops.add(id(inst))
+
+    resolved: Set[int] = set()
+    for component in _strongly_connected(stuck, succs):
+        member_ids = {id(inst) for inst in component}
+        ready = all(
+            produced.get(net) is None or id(produced[net]) in member_ids
+            for inst in component
+            for net in inst.inputs
+        )
+        if not ready:
+            continue
+        if len(component) == 1 and id(component[0]) not in self_loops:
+            # A trivial ready node cannot exist at a stall (it would have
+            # been evaluated word-parallel); skip defensively.
+            continue  # pragma: no cover
+        _resolve_core(component, comb_order, values, cycles, batch)
+        resolved |= member_ids
+    if not resolved:  # pragma: no cover - stalls always expose a ready core
+        raise RuntimeError(
+            "packed simulation stalled without a resolvable register core"
+        )
+    return resolved
+
+
+def _resolve_core(
+    core: List[Instance],
+    comb_order: List[Instance],
+    values: Dict[str, np.ndarray],
+    cycles: int,
+    batch: Optional[int],
+) -> None:
+    """Per-cycle resolution of one feedback core; packs waveforms into ``values``."""
+    core_ids = {id(inst) for inst in core}
+    core_seq = [inst for inst in core if inst.cell.sequential]
+    core_comb = [inst for inst in comb_order if id(inst) in core_ids]
+    out_nets = [net for inst in core_seq + core_comb for net in inst.outputs]
+    external = sorted(
+        {net for inst in core for net in inst.inputs}
+        - set(out_nets)
+        - set(Netlist.CONSTANT_NETS)
+    )
+    # All external inputs constant in time: the core is autonomous and its
+    # state trajectory (hence every core waveform) is eventually periodic.
+    autonomous = not external
+    shared = all(values[net].ndim == 1 for net in external)
+
+    if batch is None or shared:
+        ext_bits = {net: unpack_bits(values[net], cycles) for net in external}
+        rec = _iterate_core(
+            core_seq, core_comb, out_nets, ext_bits, cycles, detect_period=autonomous
+        )
+        values.update({net: pack_bits(wave) for net, wave in rec.items()})
+        return
+
+    # Per-trace external waveforms: iterate the core once per trace.  The
+    # word-parallel evaluation of everything outside the core is unaffected.
+    ext_full = {net: unpack_bits(values[net], cycles) for net in external}
+    stacked = {net: np.empty((batch, cycles), dtype=np.uint8) for net in out_nets}
+    for k in range(batch):
+        ext_bits = {
+            net: (wave if wave.ndim == 1 else wave[k])
+            for net, wave in ext_full.items()
+        }
+        rec = _iterate_core(
+            core_seq, core_comb, out_nets, ext_bits, cycles, detect_period=False
+        )
+        for net, wave in rec.items():
+            stacked[net][k] = wave
+    values.update({net: pack_bits(wave) for net, wave in stacked.items()})
+
+
+def _iterate_core(
+    core_seq: List[Instance],
+    core_comb: List[Instance],
+    out_nets: Iterable[str],
+    ext_bits: Dict[str, np.ndarray],
+    cycles: int,
+    detect_period: bool,
+) -> Dict[str, np.ndarray]:
+    """Cycle-by-cycle evaluation of a feedback core's narrow state vector.
+
+    Follows the reference cycle-loop semantics exactly (present state,
+    settle combinational logic, capture next state).  With ``detect_period``
+    (autonomous cores only) the iteration stops at the first repeated
+    register state and the recorded prefix is wrapped periodically out to
+    ``cycles``, which is what keeps LFSR-heavy netlists fast at stream
+    lengths far beyond the register period.
+    """
+    out_nets = list(out_nets)
+    state = {inst.name: inst.initial_state for inst in core_seq}
+    rec = {net: np.empty(cycles, dtype=np.uint8) for net in out_nets}
+    seen: Optional[Dict[tuple, int]] = {} if detect_period else None
+    wrap = None
+    vals: Dict[str, int] = {"0": 0, "1": 1}
+
+    t = 0
+    while t < cycles:
+        if seen is not None:
+            key = tuple(state[inst.name] for inst in core_seq)
+            first = seen.get(key)
+            if first is not None:
+                wrap = (first, t)
+                break
+            seen[key] = t
+        for net, wave in ext_bits.items():
+            vals[net] = int(wave[t])
+        for inst in core_seq:
+            _, outs = inst.cell.logic(state[inst.name], tuple(0 for _ in inst.inputs))
+            for net, bit in zip(inst.outputs, outs):
+                vals[net] = int(bit)
+        for inst in core_comb:
+            out_bits = inst.cell.logic(tuple(vals[n] for n in inst.inputs))
+            for net, bit in zip(inst.outputs, out_bits):
+                vals[net] = int(bit)
+        for inst in core_seq:
+            new_state, _ = inst.cell.logic(
+                state[inst.name], tuple(vals[n] for n in inst.inputs)
+            )
+            state[inst.name] = int(new_state)
+        for net in out_nets:
+            rec[net][t] = vals[net]
+        t += 1
+
+    if wrap is not None:
+        transient, repeat = wrap
+        period = repeat - transient
+        rec = {
+            net: extend_periodic(wave[:repeat], cycles, transient, period)
+            for net, wave in rec.items()
+        }
+    return rec

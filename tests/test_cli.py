@@ -37,8 +37,18 @@ class TestParser:
         )
         assert args.precision == 5 and args.taps == 9
         assert args.backend == "unpacked"
+        assert args.traces == 1
         with pytest.raises(SystemExit):
             build_parser().parse_args(["activity", "--backend", "simd"])
+
+    def test_activity_traces_flag(self):
+        args = build_parser().parse_args(["activity", "--traces", "8"])
+        assert args.traces == 8
+
+    def test_hardware_activity_traces_flag(self):
+        args = build_parser().parse_args(["hardware", "--activity-traces", "16"])
+        assert args.activity_traces == 16
+        assert build_parser().parse_args(["hardware"]).activity_traces == 0
 
 
 class TestCommands:
@@ -82,11 +92,42 @@ class TestCommands:
             ]
         assert outputs["packed"] == outputs["unpacked"]
 
+    def test_activity_batched_command_backends_agree(self, capsys):
+        # Batched multi-trace simulation: identical aggregate toggles on
+        # both backends (the unpacked one literally runs per-trace loops).
+        outputs = {}
+        for backend in ("packed", "unpacked"):
+            assert main(
+                ["activity", "--precision", "4", "--taps", "4",
+                 "--traces", "3", "--backend", backend]
+            ) == 0
+            out = capsys.readouterr().out
+            assert "x 3 traces (batched)" in out
+            assert "activity spread" in out
+            outputs[backend] = [
+                line
+                for line in out.splitlines()
+                if ":" in line and "backend=" not in line
+            ]
+        assert outputs["packed"] == outputs["unpacked"]
+
+    def test_hardware_measured_activity_command(self, capsys):
+        assert main(
+            ["hardware", "--precisions", "5,4", "--activity-traces", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "measured SC activity over 3 traces" in out
+        assert "Energy" in out
+
     def test_activity_rejects_bad_args(self):
         with pytest.raises(SystemExit):
             main(["activity", "--precision", "1"])
         with pytest.raises(SystemExit):
             main(["activity", "--taps", "1"])
+        with pytest.raises(SystemExit):
+            main(["activity", "--traces", "0"])
+        with pytest.raises(SystemExit):
+            main(["hardware", "--activity-traces", "-1"])
 
     def test_claims_command(self, capsys):
         assert main(["claims"]) == 0

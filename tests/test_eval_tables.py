@@ -181,6 +181,22 @@ class TestTable3Hardware:
         assert "Power" in text and "Energy" in text and "Area" in text
         assert "calibrated" in text
 
+    def test_measured_activity_mode(self):
+        measured = run_table3_hardware(precisions=(5, 4), activity_traces=3)
+        assert measured.measured_activity is not None
+        assert 0.0 < measured.measured_activity < 1.0
+        # Determinism: the same seed measures the same activity.
+        again = run_table3_hardware(precisions=(5, 4), activity_traces=3)
+        assert again.measured_activity == measured.measured_activity
+        default = run_table3_hardware(precisions=(5, 4))
+        assert default.measured_activity is None
+        # The measurement must actually shift the calibrated rows: the
+        # anchoring factors are computed with the technology-default
+        # activity, so they cannot cancel the measured value back out.
+        for row, default_row in zip(measured.rows, default.rows):
+            assert row.sc_power_mw != default_row.sc_power_mw
+            assert row.binary_power_mw == default_row.binary_power_mw
+
     def test_raw_mode(self):
         raw = run_table3_hardware(precisions=(8, 4), calibrate=False)
         assert not raw.calibrated

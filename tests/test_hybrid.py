@@ -149,6 +149,49 @@ class TestCalibratedEmulator:
         assert np.mean(exact[confident] == sign[0][confident]) > 0.8
 
 
+class TestMeasureActivity:
+    """Trace-driven switching activity via batched netlist simulation."""
+
+    def test_batched_result_matches_backends(self):
+        engine = new_sc_engine(precision=4)
+        emulator = CalibratedSCEmulator(engine, seed=2)
+        rng = np.random.default_rng(2)
+        windows = rng.random((3, 4))
+        weights = rng.uniform(-1.0, 1.0, 4)
+        packed = emulator.measure_activity(windows, weights, backend="packed")
+        unpacked = emulator.measure_activity(windows, weights, backend="unpacked")
+        assert packed.batch == 3
+        assert packed.cycles == engine.length
+        assert packed.total_toggles() == unpacked.total_toggles()
+        for net in packed.toggles:
+            np.testing.assert_array_equal(
+                packed.toggles[net], unpacked.toggles[net], err_msg=net
+            )
+        assert 0.0 < packed.average_activity() < 1.0
+
+    def test_mux_adder_engine_covers_select_inputs(self):
+        # The old-SC engine uses MUX trees whose select nets are extra
+        # primary inputs; measure_activity must drive them too.
+        emulator = CalibratedSCEmulator(old_sc_engine(precision=4), seed=3)
+        rng = np.random.default_rng(3)
+        result = emulator.measure_activity(
+            rng.random((2, 4)), rng.uniform(-1, 1, 4)
+        )
+        assert result.batch == 2
+
+    def test_rejects_bipolar_and_bad_shapes(self):
+        from repro.sc import BipolarDotProductEngine
+
+        bipolar = CalibratedSCEmulator(BipolarDotProductEngine(precision=4))
+        with pytest.raises(ValueError, match="bipolar"):
+            bipolar.measure_activity(np.zeros((2, 4)), np.zeros(4))
+        emulator = CalibratedSCEmulator(new_sc_engine(precision=4))
+        with pytest.raises(ValueError, match="traces"):
+            emulator.measure_activity(np.zeros(4), np.zeros(4))
+        with pytest.raises(ValueError, match="taps"):
+            emulator.measure_activity(np.zeros((2, 4)), np.zeros(5))
+
+
 @pytest.fixture(scope="module")
 def trained_hybrid_setup():
     """A small trained + quantized/retrained model on a small synthetic dataset."""

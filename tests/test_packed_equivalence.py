@@ -70,6 +70,43 @@ class TestPackUnpackRoundTrip:
         assert stream.pack().value == stream.value
 
 
+class TestExtendPeriodic:
+    """The wrap kernel behind closed-form LFSR resolution."""
+
+    def test_reference_semantics(self):
+        from repro.bitstream.packed import extend_periodic
+
+        prefix = np.array([1, 0, 1, 1, 0], dtype=np.uint8)  # transient 2, period 3
+        extended = extend_periodic(prefix, 11, transient=2, period=3)
+        np.testing.assert_array_equal(extended, [1, 0, 1, 1, 0, 1, 1, 0, 1, 1, 0])
+
+    def test_zero_transient_tiles_from_start(self):
+        from repro.bitstream.packed import extend_periodic
+
+        prefix = np.array([[1, 0], [0, 1]], dtype=np.uint8)  # batched, period 2
+        extended = extend_periodic(prefix, 5, transient=0, period=2)
+        np.testing.assert_array_equal(extended, [[1, 0, 1, 0, 1], [0, 1, 0, 1, 0]])
+
+    def test_shorter_target_truncates(self):
+        from repro.bitstream.packed import extend_periodic
+
+        prefix = np.array([1, 1, 0], dtype=np.uint8)
+        np.testing.assert_array_equal(
+            extend_periodic(prefix, 2, transient=0, period=3), [1, 1]
+        )
+
+    def test_validation(self):
+        from repro.bitstream.packed import extend_periodic
+
+        bits = np.zeros(4, dtype=np.uint8)
+        with pytest.raises(ValueError, match="period"):
+            extend_periodic(bits, 8, transient=0, period=0)
+        with pytest.raises(ValueError, match="transient"):
+            extend_periodic(bits, 8, transient=-1, period=2)
+        with pytest.raises(ValueError, match="positions"):
+            extend_periodic(bits, 8, transient=3, period=2)
+
+
 class TestGateEquivalence:
     @pytest.mark.parametrize("length", LENGTHS)
     def test_and_or_xor_not(self, length):
