@@ -20,6 +20,7 @@ import numpy as np
 from repro.bitstream import pack_bits
 from repro.sc import StochasticConv2D, TffAdder, new_sc_engine
 from repro.sc.dotproduct import stochastic_dot_product, stochastic_dot_product_packed
+from repro.utils import extract_patches
 
 ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_packed.json"
 REPEATS = 3
@@ -111,6 +112,70 @@ def test_packed_convolution_faster():
             "stream_length": 256,
             "unpacked_seconds": timings["unpacked"],
             "packed_seconds": timings["packed"],
+            "speedup": speedup,
+        }
+    )
+
+
+def test_filter_parallel_conv_speedup():
+    """Filter-parallel conv vs. the historical per-filter dot_prepared loop.
+
+    Table 3 scale on the filter axis: 32 kernels at N=256, evaluated over one
+    16x16 image's worth of patches.  The per-filter loop is the seed path the
+    vectorized bank replaced (one ``dot_prepared`` call per kernel, weight
+    streams regenerated each time); the filter-parallel path reduces every
+    ``(filter, sign)`` tree lane in one vectorized pass per level and must be
+    bit-identical while clearing the acceptance floor of 5x.
+    """
+    rng = np.random.default_rng(2)
+    images = rng.random((1, 16, 16))
+    kernels = rng.uniform(-1.0, 1.0, (32, 5, 5))
+    filters, taps = kernels.shape[0], 25
+    flat_kernels = kernels.reshape(filters, taps)
+    engine = new_sc_engine(8, seed=1, backend="packed")
+    patches = extract_patches(images, (5, 5), padding=2).reshape(-1, taps)
+    x_streams = engine.prepare_inputs(patches)
+
+    def per_filter_loop():
+        pos = np.empty((patches.shape[0], filters), dtype=np.int64)
+        neg = np.empty_like(pos)
+        for f in range(filters):
+            result = engine.dot_prepared(x_streams, flat_kernels[f])
+            pos[:, f] = result.positive_count
+            neg[:, f] = result.negative_count
+        return pos, neg
+
+    def filter_parallel():
+        result = engine.dot_filters_prepared(x_streams, flat_kernels)
+        return result.positive_count, result.negative_count
+
+    loop_s, (loop_pos, loop_neg) = best_of(per_filter_loop)
+    parallel_s, (par_pos, par_neg) = best_of(filter_parallel)
+
+    # Correctness first: the counts must be bit-identical to the seed path.
+    np.testing.assert_array_equal(par_pos, loop_pos)
+    np.testing.assert_array_equal(par_neg, loop_neg)
+
+    speedup = loop_s / parallel_s
+    print(
+        f"\nfilter-parallel conv, {filters} kernels, "
+        f"{patches.shape[0]} patches, N=256: "
+        f"per-filter loop {loop_s * 1e3:.1f} ms, "
+        f"filter-parallel {parallel_s * 1e3:.1f} ms ({speedup:.1f}x)"
+    )
+    assert speedup >= 5.0, (
+        f"filter-parallel convolution only {speedup:.1f}x faster than the "
+        f"per-filter loop (floor is 5x at {filters} filters)"
+    )
+
+    _write_artifact(
+        filter_parallel_conv={
+            "filters": filters,
+            "taps": taps,
+            "patches": int(patches.shape[0]),
+            "stream_length": 256,
+            "per_filter_seconds": loop_s,
+            "filter_parallel_seconds": parallel_s,
             "speedup": speedup,
         }
     )

@@ -216,7 +216,20 @@ else:  # pragma: no cover - numpy < 2.0 fallback
 
 def packed_popcount(words: np.ndarray) -> np.ndarray:
     """Ones-count of each packed stream (sums the word axis, returns int64)."""
-    return _word_popcount(_as_words(words)).sum(axis=-1, dtype=np.int64)
+    counts = _word_popcount(_as_words(words))
+    width = counts.shape[-1]
+    if width == 0:
+        return np.zeros(counts.shape[:-1], dtype=np.int64)
+    if width > 16:
+        return counts.sum(axis=-1, dtype=np.int64)
+    # Unrolled accumulation: ufunc.reduce over a short strided last axis is
+    # several times slower than summing word slices on batched count tensors.
+    # Accumulate in uint16 (max 16 words * 64 ones = 1024 fits comfortably)
+    # to quarter the memory traffic, then widen once.
+    total = counts[..., 0].astype(np.uint16)
+    for j in range(1, width):
+        total += counts[..., j]
+    return total.astype(np.int64)
 
 
 def packed_not(words: np.ndarray, n_bits: int) -> np.ndarray:

@@ -12,7 +12,10 @@ Usage (after ``pip install -e .``):
 
 The accuracy experiment honours the same environment variables as the
 benchmark suite (REPRO_TRAIN_SIZE, REPRO_TEST_SIZE, REPRO_BITEXACT,
-REPRO_EVAL_IMAGES, REPRO_BACKEND).  ``table1``, ``table2``, ``accuracy`` and
+REPRO_EVAL_IMAGES, REPRO_BACKEND, REPRO_TILE_PATCHES).  For full-test-set
+bit-exact runs (``REPRO_BITEXACT=1`` without ``REPRO_EVAL_IMAGES``), pass
+``accuracy --tile-patches P`` (or set ``REPRO_TILE_PATCHES``) to stream the
+stochastic convolution in bounded-memory patch tiles.  ``table1``, ``table2``, ``accuracy`` and
 ``activity`` accept ``--backend {packed,unpacked}`` to select the bit-level
 simulation backend (both produce bit-identical numbers; packed is ~10x
 faster).  ``activity`` runs the PrimeTime-style switching-annotated power
@@ -96,7 +99,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--activity-traces", type=int, default=0, metavar="N",
         help="measure the SC engine's switching activity from a batched "
              "netlist simulation over N random input traces instead of "
-             "assuming the technology default",
+             "assuming the technology default (measured independently at "
+             "every requested precision)",
     )
 
     accuracy = sub.add_parser("accuracy", help="misclassification rates (Table 3 top)")
@@ -108,6 +112,13 @@ def build_parser() -> argparse.ArgumentParser:
     accuracy.add_argument("--quick", action="store_true", help="small smoke-test configuration")
     accuracy.add_argument("--no-retrain-row", action="store_true",
                           help="also report the no-retraining ablation row")
+    accuracy.add_argument(
+        "--tile-patches", type=int, default=None, metavar="P",
+        help="simulate at most P image patches at once in the bit-exact "
+             "stochastic path (bounded memory at full-test-set scale; "
+             "bit-identical for any tile size; default: $REPRO_TILE_PATCHES "
+             "or untiled)",
+    )
     add_backend(accuracy)
 
     activity = sub.add_parser(
@@ -193,25 +204,34 @@ def _run_activity(args: argparse.Namespace) -> None:
 
 
 def _accuracy_config(args: argparse.Namespace) -> AccuracyConfig:
+    kwargs = dict(
+        include_no_retrain=args.no_retrain_row,
+        backend=_resolve_backend(args.backend),
+        tile_patches=args.tile_patches,
+    )
     if args.quick:
-        return AccuracyConfig(
+        kwargs.update(
             precisions=(8, 4, 2),
             train_size=400,
             test_size=120,
             baseline_epochs=2,
             retrain_epochs=1,
-            include_no_retrain=args.no_retrain_row,
-            backend=_resolve_backend(args.backend),
         )
-    return AccuracyConfig(
-        precisions=args.precisions,
-        train_size=args.train_size,
-        test_size=args.test_size,
-        baseline_epochs=args.epochs,
-        retrain_epochs=args.retrain_epochs,
-        include_no_retrain=args.no_retrain_row,
-        backend=_resolve_backend(args.backend),
-    )
+    else:
+        kwargs.update(
+            precisions=args.precisions,
+            train_size=args.train_size,
+            test_size=args.test_size,
+            baseline_epochs=args.epochs,
+            retrain_epochs=args.retrain_epochs,
+        )
+    try:
+        return AccuracyConfig(**kwargs)
+    except ValueError as exc:
+        # e.g. a bad --tile-patches value or an unusable REPRO_TILE_PATCHES /
+        # REPRO_EVAL_IMAGES environment setting: fail with the same clean
+        # message style as other flag errors, not a traceback.
+        raise SystemExit(f"repro: error: {exc}") from exc
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -232,9 +252,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             calibrate=not args.raw,
             activity_traces=args.activity_traces,
         )
-        if result.measured_activity is not None:
-            print(f"measured SC activity over {args.activity_traces} traces: "
-                  f"{result.measured_activity:.4f} toggles/cycle/net")
+        if result.measured_activity_by_precision is not None:
+            per_precision = ", ".join(
+                f"{p}b: {a:.4f}"
+                for p, a in sorted(
+                    result.measured_activity_by_precision.items(), reverse=True
+                )
+            )
+            print(f"measured SC activity over {args.activity_traces} traces "
+                  f"(toggles/cycle/net, per precision): {per_precision}")
         print(format_table3_hardware(result))
     elif args.command == "accuracy":
         result = run_table3_accuracy(_accuracy_config(args))

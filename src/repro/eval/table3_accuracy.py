@@ -14,8 +14,12 @@ For every precision the harness produces three rows, mirroring the paper:
 The experiment is CPU-budget-aware: dataset sizes, training epochs and the
 number of bit-exact evaluation images are configurable (environment variables
 ``REPRO_TRAIN_SIZE``, ``REPRO_TEST_SIZE``, ``REPRO_EVAL_IMAGES``,
-``REPRO_BITEXACT``), and the stochastic rows default to the calibrated fast
-emulator validated against bit-exact simulation (see DESIGN.md).
+``REPRO_BITEXACT``, ``REPRO_TILE_PATCHES``), and the stochastic rows default
+to the calibrated fast emulator validated against bit-exact simulation (see
+DESIGN.md).  With ``REPRO_BITEXACT=1`` the filter-parallel, tile-streamed
+convolution path (see :mod:`repro.sc.convolution`) lets the stochastic rows
+cover the full test set in bounded memory: set ``REPRO_TILE_PATCHES`` (or
+``tile_patches``) to cap how many image patches are in flight at once.
 """
 
 from __future__ import annotations
@@ -29,7 +33,7 @@ import numpy as np
 from ..datasets import load_dataset
 from ..hybrid import HybridStochasticBinaryNetwork
 from ..nn import Adam, Sequential, build_lenet5_small, quantize_and_freeze, retrain
-from ..sc import new_sc_engine, old_sc_engine, resolve_backend
+from ..sc import new_sc_engine, old_sc_engine, resolve_backend, resolve_tile_patches
 
 __all__ = ["AccuracyConfig", "Table3AccuracyResult", "run_table3_accuracy"]
 
@@ -54,6 +58,12 @@ class AccuracyConfig:
     bitexact_below_bits: int = 4
     #: Number of test images evaluated by the stochastic rows (None = all).
     sc_eval_images: Optional[int] = None
+    #: Patch-tile bound for the bit-exact stochastic path (and emulator
+    #: calibration): at most this many image patches are simulated at once,
+    #: keeping full-test-set ``REPRO_BITEXACT=1`` runs within bounded memory.
+    #: ``None`` defers to ``REPRO_TILE_PATCHES`` (then untiled); any tile
+    #: size is bit-identical to an untiled pass.
+    tile_patches: Optional[int] = None
     #: Soft-threshold level for the stochastic sign activation (fraction of range).
     soft_threshold: float = 0.02
     #: Bit-level simulation backend for the stochastic engines: "packed"
@@ -78,6 +88,7 @@ class AccuracyConfig:
         if os.environ.get("REPRO_BITEXACT") == "1":
             self.sc_mode = "bitexact"
         self.backend = resolve_backend(self.backend)
+        self.tile_patches = resolve_tile_patches(self.tile_patches)
         if self.sc_eval_images is None:
             env = os.environ.get("REPRO_EVAL_IMAGES")
             if env is not None:
@@ -194,6 +205,7 @@ def run_table3_accuracy(config: Optional[AccuracyConfig] = None) -> Table3Accura
                 ),
                 soft_threshold=config.soft_threshold,
                 seed=config.seed,
+                tile_patches=config.tile_patches,
             )
             rates[design][precision] = hybrid.misclassification_rate(
                 data.x_test,

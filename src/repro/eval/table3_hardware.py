@@ -8,8 +8,11 @@ By default the stochastic engine's switching activity comes from the
 technology assumption; ``activity_traces > 0`` instead *measures* it the way
 PrimeTime would -- the engine netlist is simulated against a whole batch of
 randomly drawn input windows in one word-parallel run
-(:meth:`repro.hybrid.emulation.CalibratedSCEmulator.measure_activity`), and
-the mean per-net toggle rate across the trace set drives the power model.
+(:meth:`repro.hybrid.emulation.CalibratedSCEmulator.measure_activity`).  The
+measurement is taken *per precision column*: every requested precision gets
+its own batched simulation at its own stream length (``2**precision``
+cycles), and each row's power model is driven by the activity measured at
+that precision, rather than one highest-precision number shared by all rows.
 """
 
 from __future__ import annotations
@@ -29,9 +32,13 @@ class Table3HardwareResult:
 
     rows: List[HardwareComparisonRow]
     calibrated: bool
-    #: Trace-measured switching activity of the stochastic engine
-    #: (toggles/cycle/net), or ``None`` when the technology default was used.
+    #: Trace-measured switching activity of the stochastic engine at the
+    #: highest requested precision (toggles/cycle/net), or ``None`` when the
+    #: technology default was used.
     measured_activity: Optional[float] = None
+    #: Per-precision trace-measured activities driving each row's power
+    #: model, or ``None`` when the technology default was used.
+    measured_activity_by_precision: Optional[Dict[int, float]] = None
 
     def by_precision(self) -> Dict[int, HardwareComparisonRow]:
         """Rows indexed by precision."""
@@ -100,19 +107,25 @@ def run_table3_hardware(
     activity_traces:
         When positive, replace the assumed stochastic-engine activity factor
         by one measured from a batched netlist simulation over this many
-        random input traces (at the highest requested precision; activity is
-        nearly precision-independent).
+        random input traces -- measured independently at *every* requested
+        precision (each column's simulation runs for its own ``2**precision``
+        cycles), so the per-row power model reflects precision-dependent
+        switching behaviour instead of a single shared estimate.
     activity_seed:
         RNG seed for the measurement traces.
     """
-    measured: Optional[float] = None
+    measured: Optional[Dict[int, float]] = None
     if activity_traces:
-        measured = measure_sc_activity(
-            max(precisions), activity_traces, seed=activity_seed
-        )
+        measured = {
+            precision: measure_sc_activity(
+                precision, activity_traces, seed=activity_seed
+            )
+            for precision in dict.fromkeys(precisions)
+        }
     comparison = HardwareComparison(calibrate=calibrate, sc_activity=measured)
     return Table3HardwareResult(
         rows=comparison.rows(precisions),
         calibrated=calibrate,
-        measured_activity=measured,
+        measured_activity=measured[max(measured)] if measured else None,
+        measured_activity_by_precision=dict(measured) if measured else None,
     )

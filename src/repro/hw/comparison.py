@@ -20,7 +20,7 @@ with ``calibrate=False``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from .binary_engine import BinaryEngineModel
 from .stochastic_engine import StochasticEngineModel
@@ -87,18 +87,22 @@ class HardwareComparison:
         geometry: SystemGeometry = DEFAULT_GEOMETRY,
         tech: TechnologyParameters = DEFAULT_TECH,
         calibrate: bool = True,
-        sc_activity: Optional[float] = None,
+        sc_activity: Union[float, Mapping[int, float], None] = None,
     ) -> None:
         self.geometry = geometry
         self.tech = tech
         self.calibrate = bool(calibrate)
         #: Switching activity of the stochastic engine (toggles/cycle/net).
         #: ``None`` uses the technology default; the Table 3 harness can pass
-        #: a value measured by batched trace-driven netlist simulation.  The
-        #: calibration anchor is always computed with the technology default
-        #: (the paper's synthesis flow knew nothing of our measurement), so a
-        #: measured activity genuinely shifts the calibrated rows instead of
-        #: dividing back out of the anchoring factors.
+        #: a value measured by batched trace-driven netlist simulation --
+        #: either one float applied to every row, or a ``{precision:
+        #: activity}`` mapping so each precision column uses the activity
+        #: measured at its own stream length (precisions missing from the
+        #: mapping fall back to the technology default).  The calibration
+        #: anchor is always computed with the technology default (the paper's
+        #: synthesis flow knew nothing of our measurement), so a measured
+        #: activity genuinely shifts the calibrated rows instead of dividing
+        #: back out of the anchoring factors.
         self.sc_activity = sc_activity
         self._factors = self._calibration_factors() if calibrate else {
             "binary_power": 1.0,
@@ -148,9 +152,15 @@ class HardwareComparison:
     # ------------------------------------------------------------------ #
     # table generation
     # ------------------------------------------------------------------ #
+    def sc_activity_at(self, precision: int) -> Optional[float]:
+        """The stochastic-engine activity used for one precision column."""
+        if isinstance(self.sc_activity, Mapping):
+            return self.sc_activity.get(precision)
+        return self.sc_activity
+
     def row(self, precision: int) -> HardwareComparisonRow:
         """One calibrated (or raw) comparison row."""
-        raw = self._raw_row(precision, self.sc_activity)
+        raw = self._raw_row(precision, self.sc_activity_at(precision))
         f = self._factors
         return HardwareComparisonRow(
             precision=precision,

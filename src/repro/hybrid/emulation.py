@@ -1,10 +1,12 @@
 """Fast, calibrated emulation of the stochastic first layer.
 
 Bit-exact simulation of the stochastic convolution (every window, every
-kernel, every clock cycle) is the ground truth, but it is expensive in pure
-Python/numpy: one 28x28 image at 8-bit precision needs roughly 10^9 byte
-operations.  The emulator in this module provides the fast path used by the
-full-test-set accuracy experiments:
+kernel, every clock cycle) is the ground truth.  The filter-parallel,
+tile-streamed engine path (see :mod:`repro.sc.convolution`) now makes it
+feasible at full test-set scale, but it still costs orders of magnitude more
+than a matrix multiplication; the emulator in this module provides the
+matmul-speed path used by default for the full-test-set accuracy
+experiments:
 
 1. the *ideal* quantized dot products are computed with a single matrix
    multiplication (ramp conversion quantizes the inputs, the weight SNGs
@@ -52,6 +54,7 @@ from ..bitstream import quantize_bipolar, quantize_unipolar
 from ..netlist import build_sc_dot_product, simulate_batch
 from ..netlist.simulator import BatchSimulationResult
 from ..sc.bipolar import BipolarDotProductEngine
+from ..sc.convolution import resolve_tile_patches
 from ..sc.dotproduct import StochasticDotProductEngine, split_weights
 from ..sc.elements.adders import AdderTree
 from ..utils.windows import extract_patches, patches_to_map
@@ -89,11 +92,18 @@ class CalibratedSCEmulator:
         split-weight unipolar engine or the bipolar alternative.
     seed:
         Seed of the generator used to resample emulation residuals.
+    tile_patches:
+        Upper bound on how many calibration windows are simulated bit-exactly
+        at once (the same tiling contract as
+        :class:`~repro.sc.convolution.StochasticConv2D`); ``None`` defers to
+        ``REPRO_TILE_PATCHES``, falling back to a single untiled pass.  Any
+        tile size produces bit-identical residuals.
     """
 
     engine: Union[StochasticDotProductEngine, BipolarDotProductEngine]
     seed: int = 0
     model: Optional[EmulationModel] = field(default=None)
+    tile_patches: Optional[int] = None
 
     @property
     def _bipolar(self) -> bool:
@@ -125,20 +135,34 @@ class CalibratedSCEmulator:
             raise ValueError("tap count mismatch between inputs and weights")
 
         # Bit-exact reference evaluation through the engine's active backend
-        # (packed words by default; identical counts either way).
-        x_streams = self.engine.prepare_inputs(sample_inputs)
-
-        residuals = []
-        for kernel in sample_weights:
-            result = self.engine.dot_prepared(x_streams, kernel)
-            if self._bipolar:
-                # Single counter: the sign activation compares it to N/2.
-                exact_diff = result.count - self.engine.length // 2
-            else:
-                exact_diff = result.positive_count - result.negative_count
-            ideal_diff = self._ideal_difference(sample_inputs, kernel)
-            residuals.append(exact_diff - ideal_diff)
-        stacked = np.concatenate([r.ravel() for r in residuals])
+        # (packed words by default; identical counts either way).  Input
+        # streams are generated per tile (bounded memory at any sample
+        # count); stream generation is stateless and weight streams / adder
+        # nodes are shared across tiles, so tiling never changes a count.
+        samples = sample_inputs.shape[0]
+        tile = resolve_tile_patches(self.tile_patches)
+        tile = tile if tile is not None else max(samples, 1)
+        exact_diff = np.empty((samples, sample_weights.shape[0]), dtype=np.float64)
+        if self._bipolar:
+            # Single counter: the sign activation compares it to N/2.
+            for start in range(0, samples, tile):
+                stop = min(start + tile, samples)
+                x_streams = self.engine.prepare_inputs(sample_inputs[start:stop])
+                for k, kernel in enumerate(sample_weights):
+                    result = self.engine.dot_prepared(x_streams, kernel)
+                    exact_diff[start:stop, k] = result.count - self.engine.length // 2
+        else:
+            # Filter-parallel: one weight bank covers every kernel's fused
+            # positive/negative dot products per tile.
+            bank = self.engine.prepare_weights(sample_weights)
+            for start in range(0, samples, tile):
+                stop = min(start + tile, samples)
+                x_streams = self.engine.prepare_inputs(sample_inputs[start:stop])
+                pos, neg = bank.counts(x_streams)
+                exact_diff[start:stop] = pos - neg
+        ideal_diff = self._ideal_difference(sample_inputs, sample_weights)
+        # Kernel-major raveling matches the historical per-kernel ordering.
+        stacked = (exact_diff - ideal_diff).T.ravel()
         self.model = EmulationModel(
             bias=float(stacked.mean()),
             sigma=float(stacked.std()),
@@ -147,24 +171,34 @@ class CalibratedSCEmulator:
         )
         return self.model
 
-    def _ideal_difference(self, inputs: np.ndarray, kernel: np.ndarray) -> np.ndarray:
-        """Counter-difference an error-free engine would produce (in LSBs).
+    def _ideal_difference(self, inputs: np.ndarray, kernels: np.ndarray) -> np.ndarray:
+        """Counter-differences an error-free engine would produce (in LSBs).
 
-        For the split-weight engine this is the positive-minus-negative
-        counter difference; for the bipolar engine it is the single counter's
-        offset from the mid-scale ``N/2`` (``count - N/2``), which is the
-        quantity its sign activation compares against zero.
+        ``kernels`` has shape ``(kernels, taps)``; the result has shape
+        ``(samples, kernels)``.  For the split-weight engine this is the
+        positive-minus-negative counter difference; for the bipolar engine it
+        is the single counter's offset from the mid-scale ``N/2``
+        (``count - N/2``), which is the quantity its sign activation compares
+        against zero.
         """
         n = self.engine.length
         taps = inputs.shape[-1]
         tree_scale = 1 << AdderTree().depth(taps)
+        # One small matmul per kernel, not one (samples, kernels) matmul: the
+        # per-column summation order keeps every float bit-identical to the
+        # historical per-kernel calibration loop, so calibrated models (and
+        # the noise they resample) are reproducible across versions.
         if self._bipolar:
             quantized = quantize_bipolar(inputs, self.engine.precision)
-            w_q = quantize_bipolar(kernel, self.engine.precision)
-            return (quantized @ w_q) / tree_scale * (n / 2)
-        quantized = quantize_unipolar(inputs, self.engine.precision)
-        w_pos, w_neg = split_weights(kernel)
-        return (quantized @ (w_pos - w_neg)) / tree_scale * n
+            w_q = quantize_bipolar(kernels, self.engine.precision)
+            columns = [(quantized @ w) / tree_scale * (n / 2) for w in w_q]
+        else:
+            quantized = quantize_unipolar(inputs, self.engine.precision)
+            w_pos, w_neg = split_weights(kernels)
+            columns = [
+                (quantized @ w) / tree_scale * n for w in (w_pos - w_neg)
+            ]
+        return np.stack(columns, axis=-1)
 
     # ------------------------------------------------------------------ #
     # trace-driven switching activity (batched netlist simulation)

@@ -33,7 +33,7 @@ import numpy as np
 from ..nn.activations import Sign
 from ..nn.layers import Conv2D, StochasticResolutionConv2D
 from ..nn.network import Sequential
-from ..sc.convolution import StochasticConv2D
+from ..sc.convolution import StochasticConv2D, resolve_tile_patches
 from ..sc.dotproduct import StochasticDotProductEngine, new_sc_engine
 from .acquisition import SensorFrontEnd
 from .emulation import CalibratedSCEmulator
@@ -70,6 +70,12 @@ class HybridStochasticBinaryNetwork:
         (fraction of the counter range).
     calibration_samples:
         Number of input windows used to calibrate the fast emulator.
+    tile_patches:
+        Upper bound on the number of image patches simulated at once in the
+        bit-exact first-layer path (and during emulator calibration);
+        ``None`` defers to the ``REPRO_TILE_PATCHES`` environment variable.
+        Tiling bounds peak memory at full-test-set scale and never changes a
+        counter value.
     """
 
     def __init__(
@@ -80,6 +86,7 @@ class HybridStochasticBinaryNetwork:
         soft_threshold: float = 0.0,
         calibration_samples: int = 512,
         seed: int = 0,
+        tile_patches: Optional[int] = None,
     ) -> None:
         self.model = model
         self.engine = engine if engine is not None else new_sc_engine(precision=8)
@@ -96,6 +103,7 @@ class HybridStochasticBinaryNetwork:
         self.soft_threshold = float(soft_threshold)
         self.calibration_samples = int(calibration_samples)
         self.seed = int(seed)
+        self.tile_patches = resolve_tile_patches(tile_patches)
         self._info = self._extract_first_layer(model)
         self._emulator: Optional[CalibratedSCEmulator] = None
 
@@ -160,6 +168,7 @@ class HybridStochasticBinaryNetwork:
             padding=self._info.padding,
             stride=self._info.stride,
             soft_threshold=self.soft_threshold,
+            tile_patches=self.tile_patches,
         )
         return layer.forward(acquired).sign.astype(np.float64)
 
@@ -176,7 +185,9 @@ class HybridStochasticBinaryNetwork:
 
     def _get_emulator(self, images: np.ndarray) -> CalibratedSCEmulator:
         if self._emulator is None:
-            emulator = CalibratedSCEmulator(self.engine, seed=self.seed)
+            emulator = CalibratedSCEmulator(
+                self.engine, seed=self.seed, tile_patches=self.tile_patches
+            )
             rng = np.random.default_rng(self.seed)
             kh, kw = self._info.kernels.shape[1:]
             taps = kh * kw

@@ -11,10 +11,32 @@ the simulated sensor front end) and kernels are signed weights in ``[-1, 1]``
 (after weight scaling).  Outputs follow the ``(batch, filters, H, W)`` layout
 of the binary :class:`repro.nn.layers.Conv2D` so the two can be swapped
 freely inside a network.
+
+Filter axis and tiling contract
+-------------------------------
+The layer is *filter-parallel*: the engine's
+:meth:`~repro.sc.dotproduct.StochasticDotProductEngine.prepare_weights`
+builds one weight-stream bank with a leading filter axis (``(filters, 2,
+taps, words)``) and one lane-per-``(filter, sign)`` adder-tree plan, so a
+single vectorized reduction replaces the historical loop of per-filter
+``dot_prepared`` calls -- with bit-identical counter values for every adder
+and generator configuration, because adder nodes are instantiated in the
+same filter-major order the loop used.
+
+Execution is *tile-streamed*: ``tile_patches`` (or the
+``REPRO_TILE_PATCHES`` environment variable) bounds how many image patches
+are in flight at once.  Input bit-streams are generated per tile and counts
+accumulated incrementally, so peak memory is ``O(tile_patches * filters *
+taps * words)`` regardless of batch size -- this is what lets
+``REPRO_BITEXACT=1`` runs cover the full MNIST test set.  Stream generation
+is stateless and the weight bank (select streams included) is built once and
+reused, so any tiling -- including tile sizes that do not divide the patch
+count -- produces counts bit-identical to one untiled pass.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Optional
 
@@ -23,7 +45,33 @@ import numpy as np
 from ..utils.windows import conv_output_size, extract_patches, patches_to_map
 from .dotproduct import StochasticDotProductEngine, new_sc_engine
 
-__all__ = ["StochasticConvResult", "StochasticConv2D"]
+__all__ = [
+    "StochasticConvResult",
+    "StochasticConv2D",
+    "resolve_tile_patches",
+]
+
+
+def resolve_tile_patches(tile_patches: Optional[int] = None) -> Optional[int]:
+    """Resolve the patch-tile size: explicit value, else ``REPRO_TILE_PATCHES``.
+
+    Returns ``None`` (process all patches in one pass) when neither is set.
+    An explicit argument always wins over the environment.
+    """
+    if tile_patches is None:
+        env = os.environ.get("REPRO_TILE_PATCHES")
+        if env is None or env == "":
+            return None
+        try:
+            tile_patches = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_TILE_PATCHES must be a positive integer, got {env!r}"
+            ) from None
+    tile_patches = int(tile_patches)
+    if tile_patches < 1:
+        raise ValueError(f"tile_patches must be positive, got {tile_patches}")
+    return tile_patches
 
 
 @dataclass
@@ -48,7 +96,7 @@ class StochasticConv2D:
     ----------
     kernels:
         Signed kernel weights of shape ``(filters, kh, kw)`` with values in
-        ``[-1, 1]``.
+        ``[-1, 1]``; at least one filter is required.
     engine:
         The dot-product engine configuration; defaults to the paper's
         proposed design at 8-bit precision.
@@ -61,6 +109,11 @@ class StochasticConv2D:
         ``soft_threshold * N`` are forced to zero before the sign activation.
         This is the error-mitigation trick of Kim et al. adopted in
         Section V-B for near-zero values.
+    tile_patches:
+        Upper bound on the number of image patches simulated at once (the
+        tiling contract in the module docstring); ``None`` defers to the
+        ``REPRO_TILE_PATCHES`` environment variable, falling back to a
+        single untiled pass.  Any tile size yields bit-identical counts.
     """
 
     def __init__(
@@ -70,11 +123,17 @@ class StochasticConv2D:
         padding: int = 0,
         stride: int = 1,
         soft_threshold: float = 0.0,
+        tile_patches: Optional[int] = None,
     ) -> None:
         kernels = np.asarray(kernels, dtype=np.float64)
         if kernels.ndim != 3:
             raise ValueError(
                 f"kernels must have shape (filters, kh, kw), got {kernels.shape}"
+            )
+        if kernels.shape[0] == 0:
+            raise ValueError(
+                "kernels must contain at least one filter "
+                f"(got shape {kernels.shape})"
             )
         if np.any(np.abs(kernels) > 1.0 + 1e-9):
             raise ValueError("kernel weights must lie in [-1, 1]")
@@ -85,6 +144,7 @@ class StochasticConv2D:
         self.padding = int(padding)
         self.stride = int(stride)
         self.soft_threshold = float(soft_threshold)
+        self.tile_patches = resolve_tile_patches(tile_patches)
 
     @property
     def filters(self) -> int:
@@ -123,21 +183,27 @@ class StochasticConv2D:
         patches = extract_patches(images, (kh, kw), self.stride, self.padding)
         batch, n_patches, taps = patches.shape
 
-        # Generate the input bit-streams once (packed words or uint8 bits,
-        # depending on the engine backend); they are shared by all kernels,
-        # exactly as the sensor-side converters are shared in hardware.
-        x_streams = self.engine.prepare_inputs(patches)
+        # One weight-stream bank for all kernels (leading filter axis, fused
+        # positive/negative trees), built once and shared by every tile --
+        # exactly as the weight-side converters are shared in hardware.
+        bank = self.engine.prepare_weights(self.kernels.reshape(self.filters, taps))
 
-        pos = np.empty((batch, n_patches, self.filters), dtype=np.int64)
+        flat = patches.reshape(batch * n_patches, taps)
+        total = flat.shape[0]
+        tile = self.tile_patches if self.tile_patches is not None else total
+        pos = np.empty((total, self.filters), dtype=np.int64)
         neg = np.empty_like(pos)
-        flat_kernels = self.kernels.reshape(self.filters, taps)
-        for f in range(self.filters):
-            result = self.engine.dot_prepared(x_streams, flat_kernels[f])
-            pos[:, :, f] = result.positive_count
-            neg[:, :, f] = result.negative_count
+        for start in range(0, total, tile):
+            stop = min(start + tile, total)
+            # Input bit-streams are generated per tile (stateless conversion,
+            # shared by all kernels) so peak memory stays bounded by the tile.
+            x_streams = self.engine.prepare_inputs(flat[start:stop])
+            pos[start:stop], neg[start:stop] = bank.counts(x_streams)
+        pos = pos.reshape(batch, n_patches, self.filters)
+        neg = neg.reshape(batch, n_patches, self.filters)
 
         length = self.engine.length
-        tree_scale = result.tree_scale
+        tree_scale = bank.tree_scale
         value = (pos - neg).astype(np.float64) / length * tree_scale
         sign = np.sign(pos - neg).astype(np.int8)
         if self.soft_threshold > 0.0:
@@ -159,5 +225,6 @@ class StochasticConv2D:
     def __repr__(self) -> str:
         return (
             f"StochasticConv2D(filters={self.filters}, kernel={self.kernel_size}, "
-            f"padding={self.padding}, stride={self.stride}, engine={self.engine!r})"
+            f"padding={self.padding}, stride={self.stride}, "
+            f"tile_patches={self.tile_patches}, engine={self.engine!r})"
         )

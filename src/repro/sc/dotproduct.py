@@ -39,7 +39,7 @@ from ..rng import (
     ramp_compare_batch,
     ramp_compare_packed,
 )
-from .elements.adders import AdderTree, MuxAdder, OrAdder, TffAdder
+from .elements.adders import AdderTree, MuxAdder, OrAdder, TffAdder, TreePlan
 from .elements.converters import count_ones, sign_from_counts
 from .elements.util import as_bits
 
@@ -51,6 +51,7 @@ __all__ = [
     "stochastic_dot_product",
     "stochastic_dot_product_packed",
     "DotProductResult",
+    "PreparedWeights",
     "StochasticDotProductEngine",
     "new_sc_engine",
     "old_sc_engine",
@@ -148,6 +149,97 @@ class DotProductResult:
         """The reconstructed (scaled-back) dot-product value ``x . w``."""
         diff = self.positive_count.astype(np.float64) - self.negative_count
         return diff / self.length * self.tree_scale
+
+
+class PreparedWeights:
+    """A filter bank: all-kernel weight streams plus a shared adder-tree plan.
+
+    Built once per kernel set by
+    :meth:`StochasticDotProductEngine.prepare_weights` and applied to any
+    number of input tiles via :meth:`counts`.  Weight streams carry a leading
+    *filter* axis and a positive/negative axis -- ``(filters, 2, taps, W)``
+    packed words (or ``(..., N)`` bits) -- so one vectorized tree reduction
+    covers every ``(filter, sign)`` pair at once, and the positive and
+    negative dot products of the paper's split-weight trick are fused into a
+    single pass over shared input streams.
+
+    The tree plan's adders are instantiated filter-major (filter 0's positive
+    tree, then its negative tree, then filter 1, ...), exactly the order the
+    per-filter :meth:`~StochasticDotProductEngine.dot_prepared` loop used, so
+    stateful adder factories (per-node MUX select seeds) keep producing
+    bit-identical counts -- including across successive calls on one engine.
+    Because the plan caches its select streams, evaluating inputs tile by
+    tile is bit-identical to one untiled pass.
+    """
+
+    def __init__(self, engine: "StochasticDotProductEngine", weights: np.ndarray) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 2:
+            raise ValueError(
+                f"weights must have shape (filters, taps), got {weights.shape}"
+            )
+        if weights.shape[0] == 0:
+            raise ValueError("need at least one filter kernel")
+        self.engine = engine
+        self.filters, self.taps = weights.shape
+        self.n_bits = engine.length
+        if engine.backend == "packed":
+            w_pos, w_neg = engine.weight_words(weights)
+        else:
+            w_pos, w_neg = engine.weight_streams(weights)
+        #: Weight streams with the filter axis leading: ``(filters, 2, taps, .)``
+        #: where index 0 of the second axis is the positive tree's streams.
+        self.weight_streams = np.stack([w_pos, w_neg], axis=1)
+        # One tree lane per (filter, sign) pair, laid out filter-major like
+        # the sequential dot_prepared calls the bank replaces.
+        self.plan: TreePlan = AdderTree(engine._adder_factory()).plan(
+            self.taps, lanes=2 * self.filters
+        )
+
+    @property
+    def tree_scale(self) -> int:
+        """Counter scale ``2**depth`` of each per-filter adder tree."""
+        return self.plan.tree_scale
+
+    def counts(self, prepared: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Positive and negative tree counts for prepared input streams.
+
+        ``prepared`` is the output of
+        :meth:`StochasticDotProductEngine.prepare_inputs`, shape
+        ``(..., taps, W-or-N)``; returns ``(positive, negative)`` int64 count
+        arrays of shape ``(..., filters)``, bit-identical to per-filter
+        :meth:`~StochasticDotProductEngine.dot_prepared` calls.
+        """
+        x = np.asarray(prepared)
+        if x.ndim < 2 or x.shape[-2] != self.taps:
+            raise ValueError(
+                f"prepared inputs must have {self.taps} taps on axis -2, "
+                f"got shape {x.shape}"
+            )
+        products = x[..., np.newaxis, np.newaxis, :, :] & self.weight_streams
+        lanes = products.reshape(
+            products.shape[:-4] + (2 * self.filters, self.taps, products.shape[-1])
+        )
+        packed = self.engine.backend == "packed"
+        if self.plan.supports_count_reduction:
+            # All-TFF trees admit the exact count-domain shortcut: popcount
+            # the tap products once, then reduce integer counts level by
+            # level (floor/ceil halving) -- provably bit-identical to the
+            # stream-level tree and an order of magnitude less work.
+            leaf = packed_popcount(lanes) if packed else count_ones(lanes)
+            flat_counts = self.plan.reduce_counts(leaf)
+        elif packed:
+            flat_counts = packed_popcount(self.plan.reduce_packed(lanes, self.n_bits))
+        else:
+            flat_counts = count_ones(self.plan.reduce_bits(lanes))
+        stacked = flat_counts.reshape(flat_counts.shape[:-1] + (self.filters, 2))
+        return stacked[..., 0], stacked[..., 1]
+
+    def __repr__(self) -> str:
+        return (
+            f"PreparedWeights(filters={self.filters}, taps={self.taps}, "
+            f"n_bits={self.n_bits}, backend={self.engine.backend!r})"
+        )
 
 
 @dataclass
@@ -267,6 +359,54 @@ class StochasticDotProductEngine:
             return self.dot_from_packed(prepared, w_pos, w_neg)
         w_pos, w_neg = self.weight_streams(weights)
         return self.dot_from_streams(prepared, w_pos, w_neg)
+
+    def prepare_weights(self, weights: np.ndarray) -> PreparedWeights:
+        """Generate the filter bank for a whole ``(filters, taps)`` kernel set.
+
+        The returned :class:`PreparedWeights` evaluates every filter's
+        positive and negative dot products in one vectorized pass and is
+        reusable across input tiles; combined with :meth:`prepare_inputs` it
+        replaces a loop of per-filter :meth:`dot_prepared` calls with
+        bit-identical counts.
+        """
+        return PreparedWeights(self, weights)
+
+    def dot_filters_prepared(
+        self, prepared: np.ndarray, weights: np.ndarray | PreparedWeights
+    ) -> DotProductResult:
+        """All-filter dot products of prepared inputs: counts shaped ``(..., filters)``.
+
+        ``weights`` is either a raw ``(filters, taps)`` kernel array or an
+        existing :class:`PreparedWeights` bank (pass the bank when evaluating
+        several input tiles so weight streams and adder nodes are built only
+        once).
+        """
+        bank = (
+            weights
+            if isinstance(weights, PreparedWeights)
+            else self.prepare_weights(weights)
+        )
+        if bank.engine is not self:
+            raise ValueError("prepared weights belong to a different engine")
+        pos, neg = bank.counts(prepared)
+        return DotProductResult(
+            positive_count=pos,
+            negative_count=neg,
+            length=self.length,
+            tree_scale=bank.tree_scale,
+        )
+
+    def dot_filters(self, x: np.ndarray, weights: np.ndarray) -> DotProductResult:
+        """Filter-parallel :meth:`dot`: ``x`` is ``(..., taps)``, weights
+        ``(filters, taps)``; result counts have shape ``(..., filters)``."""
+        x = np.asarray(x, dtype=np.float64)
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 2 or x.shape[-1] != weights.shape[-1]:
+            raise ValueError(
+                f"tap count mismatch: inputs have {x.shape[-1]}, "
+                f"weights have shape {weights.shape}"
+            )
+        return self.dot_filters_prepared(self.prepare_inputs(x), weights)
 
     def _adder_factory(self) -> Callable[[], object]:
         if self.adder == "tff":

@@ -2,6 +2,7 @@
 
 from .adders import (
     AdderTree,
+    TreePlan,
     MuxAdder,
     OrAdder,
     StochasticAdder,
@@ -31,6 +32,7 @@ __all__ = [
     "MuxAdder",
     "OrAdder",
     "AdderTree",
+    "TreePlan",
     "tff_add",
     "mux_add",
     "or_add",

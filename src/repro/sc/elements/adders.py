@@ -20,6 +20,27 @@ comes from:
 
 :class:`AdderTree` builds balanced trees of any of these two-input adders, the
 structure used by the stochastic dot-product engine.
+
+Array-level reduction
+---------------------
+Tree reduction is evaluated *level by level on whole arrays*, not node by
+node: every level pairs the stream axis (``(..., k, N)`` bits or ``(..., k,
+W)`` packed words) and applies one vectorized kernel to all nodes of the
+level at once -- a single prefix-parity scan for TFF nodes, a single masked
+select for MUX nodes (per-node select streams stacked on the node axis), a
+single OR for OR nodes.  Adder *objects* are still instantiated through the
+factory in the historical order (level by level, left to right), so stateful
+factories -- e.g. per-node MUX select seeds -- see exactly the node
+enumeration of the old per-node loop and every count stays bit-identical.
+
+:class:`TreePlan` extends this to *lanes*: several identical trees (for the
+stochastic convolution, one tree per ``(filter, positive/negative)`` pair)
+laid side by side on axis ``-3`` and reduced together in the same vectorized
+level passes.  Lane adders are instantiated lane-major (lane 0's whole tree,
+then lane 1's, ...), matching a sequence of independent per-lane reductions,
+and the plan object is reusable across input tiles: select streams are
+generated once and cached, so tiled evaluation is bit-identical to a single
+untiled pass.
 """
 
 from __future__ import annotations
@@ -30,6 +51,7 @@ import numpy as np
 
 from ...bitstream.packed import (
     pack_bits,
+    packed_mux,
     packed_mux_add,
     packed_or_add,
     packed_tff_add,
@@ -44,6 +66,7 @@ __all__ = [
     "OrAdder",
     "TffAdder",
     "AdderTree",
+    "TreePlan",
     "tff_add",
     "mux_add",
     "or_add",
@@ -224,6 +247,234 @@ class MuxAdder(StochasticAdder):
         return f"MuxAdder(select_source={self.select_source!r})"
 
 
+def _level_group(adders: List[StochasticAdder]):
+    """Classify one level's node group for single-kernel vectorized application.
+
+    Returns ``("tff", initial_state)`` when every node is a plain
+    :class:`TffAdder` sharing one initial state, ``("or", None)`` for plain
+    :class:`OrAdder` nodes, ``("mux", None)`` for plain :class:`MuxAdder`
+    nodes (per-node select streams are stacked on the node axis), and
+    ``None`` for anything else -- mixed levels or subclasses fall back to the
+    per-node loop, which preserves arbitrary adder semantics.
+    """
+    first = adders[0]
+    if type(first) is TffAdder and all(
+        type(a) is TffAdder and a.initial_state == first.initial_state
+        for a in adders
+    ):
+        return ("tff", first.initial_state)
+    if all(type(a) is OrAdder for a in adders):
+        return ("or", None)
+    if all(type(a) is MuxAdder for a in adders):
+        return ("mux", None)
+    return None
+
+
+def _mux_select_matrix(adders: List[StochasticAdder], length: int) -> np.ndarray:
+    """Stack the per-node select streams of a MUX level: ``(nodes, length)``."""
+    return np.stack([a.select_bits(length) for a in adders])
+
+
+class TreePlan:
+    """Pre-instantiated adder nodes for one or more identical reduction trees.
+
+    A plan fixes the tree structure for ``count`` inputs and ``lanes``
+    side-by-side trees, instantiates every node adder through the factory
+    *once* (lane-major: lane 0's whole tree level by level left to right,
+    then lane 1's, ... -- the exact enumeration a sequence of independent
+    per-lane reductions would produce), and is then applied to any number of
+    input arrays.  Because per-node select streams are generated once and
+    cached, applying one plan to successive input tiles is bit-identical to
+    reducing the concatenated tiles in a single pass -- the contract the
+    tile-streamed stochastic convolution relies on.
+    """
+
+    def __init__(self, adder_factory, count: int, lanes: int = 1) -> None:
+        if count < 1:
+            raise ValueError("need at least one input")
+        if lanes < 1:
+            raise ValueError("need at least one lane")
+        self.count = int(count)
+        self.lanes = int(lanes)
+        sizes: List[int] = []
+        k = self.count
+        while k > 1:
+            k += k & 1
+            sizes.append(k // 2)
+            k //= 2
+        self.level_sizes = sizes
+        per_lane = [
+            [[adder_factory() for _ in range(m)] for m in sizes]
+            for _ in range(self.lanes)
+        ]
+        # Regrouped level-major for application; within a level the flat node
+        # list is lane-major, matching the C-order flattening of the
+        # ``(lanes, nodes)`` axes during the vectorized level pass.
+        self.levels: List[List[StochasticAdder]] = [
+            [per_lane[lane][li][j] for lane in range(self.lanes) for j in range(m)]
+            for li, m in enumerate(sizes)
+        ]
+        self._groups = [_level_group(nodes) for nodes in self.levels]
+        self._select_cache: dict = {}
+
+    @property
+    def depth(self) -> int:
+        """Number of adder levels."""
+        return len(self.level_sizes)
+
+    @property
+    def tree_scale(self) -> int:
+        """The counter scale factor ``2**depth`` of each lane's tree."""
+        return 1 << self.depth
+
+    def _selects(self, li: int, length: int, packed: bool) -> np.ndarray:
+        """Per-node select streams of a MUX level, cached per stream length."""
+        key = (li, length, packed)
+        cached = self._select_cache.get(key)
+        if cached is None:
+            matrix = _mux_select_matrix(self.levels[li], length)
+            cached = pack_bits(matrix) if packed else matrix
+            self._select_cache[key] = cached
+        return cached
+
+    def _check_input(self, arr: np.ndarray, what: str) -> np.ndarray:
+        if self.lanes == 1:
+            if arr.ndim < 2:
+                raise ValueError(f"expected (..., k, {what}) input, got {arr.shape}")
+            arr = arr[..., np.newaxis, :, :]
+        if arr.ndim < 3 or arr.shape[-2] != self.count or arr.shape[-3] != self.lanes:
+            raise ValueError(
+                f"expected (..., {self.lanes} lanes, {self.count} streams, "
+                f"{what}) input, got shape {arr.shape}"
+            )
+        return arr
+
+    def _reduce(self, arr: np.ndarray, length: int, packed: bool) -> np.ndarray:
+        """Shared level loop; ``arr`` is ``(..., lanes, k, W-or-N)``."""
+        level = arr
+        for li, nodes in enumerate(self.levels):
+            if level.shape[-2] % 2:
+                pad = np.zeros(
+                    level.shape[:-2] + (1, level.shape[-1]), dtype=level.dtype
+                )
+                level = np.concatenate([level, pad], axis=-2)
+            x = level[..., 0::2, :]
+            y = level[..., 1::2, :]
+            m = x.shape[-2]
+            flat_shape = x.shape[:-3] + (self.lanes * m, x.shape[-1])
+            xf = x.reshape(flat_shape)
+            yf = y.reshape(flat_shape)
+            group = self._groups[li]
+            if group is not None and group[0] == "tff":
+                if packed:
+                    out = packed_tff_add(xf, yf, length, initial_state=group[1])
+                else:
+                    disagree = (xf ^ yf).astype(np.uint8)
+                    state = toggle_states(disagree, group[1])
+                    out = np.where(disagree == 1, state, xf).astype(np.uint8)
+            elif group is not None and group[0] == "or":
+                out = xf | yf
+            elif group is not None and group[0] == "mux":
+                sel = self._selects(li, length, packed)
+                if packed:
+                    out = packed_mux(sel, xf, yf)
+                else:
+                    out = np.where(sel == 1, yf, xf).astype(np.uint8)
+            else:
+                columns = []
+                for j, adder in enumerate(nodes):
+                    if packed:
+                        columns.append(adder.packed(xf[..., j, :], yf[..., j, :], length))
+                    else:
+                        columns.append(as_bits(adder(xf[..., j, :], yf[..., j, :]))[0])
+                out = np.stack(columns, axis=-2)
+            level = out.reshape(x.shape[:-3] + (self.lanes, m, x.shape[-1]))
+        out = level[..., 0, :]
+        return out[..., 0, :] if self.lanes == 1 else out
+
+    @property
+    def supports_count_reduction(self) -> bool:
+        """True when the root ones-count follows from leaf counts alone.
+
+        A plain :class:`TffAdder`'s output ones-count is *exactly*
+        ``floor((ones_x + ones_y) / 2)`` (``initial_state=0``; ``ceil`` for
+        1) whatever the bit positions: equal bits pass straight through
+        (contributing ``both``) and the flip-flop state emitted at the ``d``
+        disagreements alternates, releasing exactly ``floor(d / 2)`` (or
+        ``ceil``) ones -- and ``both + floor((cx + cy - 2 * both) / 2)``
+        collapses to ``floor((cx + cy) / 2)``.  So a tree whose every level
+        is plain TFF nodes admits :meth:`reduce_counts`, the count-domain
+        shortcut behind the filter-parallel convolution's speedup.  MUX and
+        OR levels are position-dependent and must reduce actual streams.
+        """
+        return all(group is not None and group[0] == "tff" for group in self._groups)
+
+    def reduce_counts(self, leaf_counts: np.ndarray) -> np.ndarray:
+        """Exact count-domain tree reduction for all-TFF plans.
+
+        ``leaf_counts`` holds the ones-counts of the leaf streams, shape
+        ``(..., lanes, k)`` (lane axis only when ``lanes > 1``); returns the
+        root streams' ones-counts, shape ``(..., lanes)``, guaranteed
+        bit-identical to popcounting the streams produced by
+        :meth:`reduce_bits` / :meth:`reduce_packed` -- see
+        :attr:`supports_count_reduction` for why this is exact (zero-padded
+        odd levels contribute count 0, exactly like the padded streams).
+        Raises ``ValueError`` when a level is not plain TFF.
+        """
+        if not self.supports_count_reduction:
+            raise ValueError(
+                "count-domain reduction is exact only for plain TffAdder "
+                "trees; reduce the streams instead"
+            )
+        arr = np.asarray(leaf_counts)
+        if self.lanes == 1:
+            arr = arr[..., np.newaxis, :]
+        if arr.ndim < 2 or arr.shape[-1] != self.count or arr.shape[-2] != self.lanes:
+            raise ValueError(
+                f"expected (..., {self.lanes} lanes, {self.count}) leaf "
+                f"counts, got shape {arr.shape}"
+            )
+        level = arr.astype(np.int64, copy=False)
+        # Zero-count leaves padded up to the full 2**depth once are exactly
+        # the per-level zero-stream pads of the stream reduction: real nodes
+        # stay left-aligned at every level and zero nodes stay zero under
+        # both rounding directions.
+        full = 1 << self.depth
+        if self.count != full:
+            padded = np.zeros(level.shape[:-1] + (full,), dtype=np.int64)
+            padded[..., : self.count] = level
+            level = padded
+        for group in self._groups:
+            total = level[..., 0::2] + level[..., 1::2]
+            if group[1]:
+                # initial_state selects the rounding: floor for 0, ceil for 1.
+                total += 1
+            total >>= 1
+            level = total
+        out = level[..., 0]
+        return out[..., 0] if self.lanes == 1 else out
+
+    def reduce_bits(self, bits: np.ndarray) -> np.ndarray:
+        """Reduce unpacked bit arrays ``(..., lanes, k, N)`` (lane axis only
+        when ``lanes > 1``) to ``(..., lanes, N)`` output streams."""
+        arr = np.asarray(bits)
+        if arr.dtype != np.uint8:
+            arr = arr.astype(np.uint8)
+        arr = self._check_input(arr, "N")
+        return self._reduce(arr, arr.shape[-1], packed=False)
+
+    def reduce_packed(self, words: np.ndarray, n_bits: int) -> np.ndarray:
+        """Reduce packed word arrays ``(..., lanes, k, W)`` (lane axis only
+        when ``lanes > 1``) to ``(..., lanes, W)`` output streams."""
+        arr = self._check_input(np.asarray(words), "W")
+        return self._reduce(arr, n_bits, packed=True)
+
+    def __repr__(self) -> str:
+        return (
+            f"TreePlan(count={self.count}, lanes={self.lanes}, depth={self.depth})"
+        )
+
+
 class AdderTree:
     """A balanced binary tree of two-input scaled adders.
 
@@ -233,6 +484,11 @@ class AdderTree:
     ``depth / N`` instead of compounding statistically as it does for MUX
     adders.  Missing leaves (when ``k`` is not a power of two) are filled with
     all-zero streams, exactly like the padded hardware tree.
+
+    Reduction is applied level by level with one vectorized kernel per level
+    (see the module docstring); node adders are still instantiated through
+    ``adder_factory`` in the historical per-node order, so results are
+    bit-identical to the old per-node loop for every adder type.
 
     Parameters
     ----------
@@ -258,35 +514,35 @@ class AdderTree:
         """The overall scaling ``2**-depth`` applied to the sum."""
         return 0.5 ** self.depth(count)
 
+    def plan(self, count: int, lanes: int = 1) -> TreePlan:
+        """Instantiate a reusable :class:`TreePlan` for ``count`` inputs.
+
+        ``lanes > 1`` lays that many identical trees side by side on axis
+        ``-3`` (adders created lane-major, exactly like sequential per-lane
+        reductions); the returned plan can be applied to any number of input
+        tiles with bit-identical results.
+        """
+        return TreePlan(self.adder_factory, count, lanes=lanes)
+
     def reduce(self, streams: Sequence[StreamLike] | np.ndarray) -> StreamLike:
         """Reduce a list of streams (or an array stacked on axis -2) to one stream."""
         if isinstance(streams, np.ndarray):
             if streams.ndim < 2 or streams.shape[-2] == 0:
                 raise ValueError("stacked input must have shape (..., k, N) with k >= 1")
-            stream_list: List[np.ndarray] = [
-                streams[..., i, :] for i in range(streams.shape[-2])
-            ]
+            stacked = streams
             template: StreamLike = streams[..., 0, :]
         else:
             if len(streams) == 0:
                 raise ValueError("need at least one input stream")
             stream_list = [as_bits(s)[0] for s in streams]
+            check_same_length(*stream_list)
+            shape = np.broadcast_shapes(*(s.shape for s in stream_list))
+            stacked = np.stack(
+                [np.broadcast_to(s, shape) for s in stream_list], axis=-2
+            )
             template = streams[0]
-        length = check_same_length(*stream_list)
-
-        level = stream_list
-        while len(level) > 1:
-            if len(level) % 2 == 1:
-                level = level + [np.zeros_like(level[0])]
-            next_level = []
-            for i in range(0, len(level), 2):
-                adder = self.adder_factory()
-                result = adder(level[i], level[i + 1])
-                bits, _ = as_bits(result)
-                next_level.append(bits)
-            level = next_level
-        del length
-        return wrap_like(level[0], template)
+        result = TreePlan(self.adder_factory, stacked.shape[-2]).reduce_bits(stacked)
+        return wrap_like(result, template)
 
     def reduce_packed(self, words: np.ndarray, n_bits: int) -> np.ndarray:
         """Word-level :meth:`reduce` over packed streams stacked on axis -2.
@@ -300,16 +556,7 @@ class AdderTree:
         arr = np.asarray(words)
         if arr.ndim < 2 or arr.shape[-2] == 0:
             raise ValueError("stacked input must have shape (..., k, W) with k >= 1")
-        level: List[np.ndarray] = [arr[..., i, :] for i in range(arr.shape[-2])]
-        while len(level) > 1:
-            if len(level) % 2 == 1:
-                level = level + [np.zeros_like(level[0])]
-            next_level = []
-            for i in range(0, len(level), 2):
-                adder = self.adder_factory()
-                next_level.append(adder.packed(level[i], level[i + 1], n_bits))
-            level = next_level
-        return level[0]
+        return TreePlan(self.adder_factory, arr.shape[-2]).reduce_packed(arr, n_bits)
 
     def expected(self, values: Sequence[float]) -> float:
         """Ideal output of the tree for unipolar input values."""

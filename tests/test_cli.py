@@ -50,6 +50,20 @@ class TestParser:
         assert args.activity_traces == 16
         assert build_parser().parse_args(["hardware"]).activity_traces == 0
 
+    def test_accuracy_tile_patches_flag(self):
+        from repro.cli import _accuracy_config
+
+        args = build_parser().parse_args(
+            ["accuracy", "--quick", "--tile-patches", "96"]
+        )
+        assert args.tile_patches == 96
+        assert _accuracy_config(args).tile_patches == 96
+        args = build_parser().parse_args(["accuracy", "--quick"])
+        assert args.tile_patches is None
+        bad = build_parser().parse_args(["accuracy", "--tile-patches", "0"])
+        with pytest.raises(SystemExit):
+            _accuracy_config(bad)
+
 
 class TestCommands:
     def test_table1_command(self, capsys):

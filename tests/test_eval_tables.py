@@ -197,6 +197,41 @@ class TestTable3Hardware:
             assert row.sc_power_mw != default_row.sc_power_mw
             assert row.binary_power_mw == default_row.binary_power_mw
 
+    def test_measured_activity_is_per_precision(self):
+        measured = run_table3_hardware(precisions=(5, 4), activity_traces=3)
+        by_precision = measured.measured_activity_by_precision
+        assert set(by_precision) == {5, 4}
+        assert all(0.0 < activity < 1.0 for activity in by_precision.values())
+        # Each precision column is measured at its own stream length, not
+        # copied from the highest precision.
+        assert by_precision[5] != by_precision[4]
+        assert measured.measured_activity == by_precision[5]
+        # Each row's power model is driven by its own precision's activity:
+        # a run measuring only that precision produces the identical row.
+        solo = run_table3_hardware(precisions=(4,), activity_traces=3)
+        assert solo.measured_activity_by_precision[4] == by_precision[4]
+        assert (
+            solo.by_precision()[4].sc_power_mw
+            == measured.by_precision()[4].sc_power_mw
+        )
+        default = run_table3_hardware(precisions=(5, 4))
+        assert default.measured_activity_by_precision is None
+
+    def test_hardware_comparison_accepts_activity_mapping(self):
+        from repro.hw import HardwareComparison
+
+        low, high = 0.05, 0.25
+        mapping = HardwareComparison(sc_activity={8: low, 4: high})
+        assert mapping.sc_activity_at(8) == low
+        assert mapping.sc_activity_at(4) == high
+        assert mapping.sc_activity_at(6) is None  # falls back to the default
+        scalar_low = HardwareComparison(sc_activity=low)
+        scalar_high = HardwareComparison(sc_activity=high)
+        default = HardwareComparison()
+        assert mapping.row(8).sc_power_mw == scalar_low.row(8).sc_power_mw
+        assert mapping.row(4).sc_power_mw == scalar_high.row(4).sc_power_mw
+        assert mapping.row(6).sc_power_mw == default.row(6).sc_power_mw
+
     def test_raw_mode(self):
         raw = run_table3_hardware(precisions=(8, 4), calibrate=False)
         assert not raw.calibrated

@@ -276,3 +276,91 @@ class TestBatchAggregation:
             for k in range(3)
         ]
         assert report.dynamic_mw == pytest.approx(np.mean(per_trace))
+
+def _feedback_counter_netlist():
+    """A non-autonomous register feedback core: a gated toggle accumulator.
+
+    The TFF's trigger is ``AND(enable, XOR(q, x))`` -- its next state depends
+    on its own output *and* two per-trace primary inputs, so the batched
+    packed simulator must iterate the core per cycle (no closed form, no
+    shared-input broadcast, no periodic wrap).
+    """
+    netlist = Netlist("feedback-counter")
+    enable = netlist.add_input("enable")
+    x = netlist.add_input("x")
+    (q,) = netlist.add_cell("TFF", ["t"], outputs=["q"], initial_state=1)
+    (mix,) = netlist.add_cell("XOR2", [q, x], outputs=["mix"])
+    netlist.add_cell("AND2", [enable, mix], outputs=["t"])
+    netlist.add_output(q)
+    return netlist
+
+
+class TestTracePackedFeedbackCores:
+    """The PR-4 fast path: per-trace feedback cores iterated with the trace
+    axis packed into words, bit-identical to independent per-trace runs."""
+
+    def test_trace_packed_core_path_is_used_and_exact(self, monkeypatch):
+        import repro.netlist.simulator as simulator_module
+
+        netlist = _feedback_counter_netlist()
+        stimulus = batched_stimulus(netlist, 5, 130, seed=3)
+        calls = {"count": 0}
+        original = simulator_module._iterate_core_tracewords
+
+        def spy(*args, **kwargs):
+            calls["count"] += 1
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(simulator_module, "_iterate_core_tracewords", spy)
+        assert_batch_equals_independent_runs(
+            netlist, stimulus, 5, record=netlist.nets
+        )
+        assert calls["count"] > 0, "trace-packed core resolution was not exercised"
+
+    @given(
+        batch=st.integers(min_value=1, max_value=70),
+        cycles=st.sampled_from([1, 63, 64, 65, 100]),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_hypothesis_batch_sizes_cross_word_boundaries(self, batch, cycles, seed):
+        # Batches above 64 traces exercise multi-word trace packing.
+        netlist = _feedback_counter_netlist()
+        stimulus = batched_stimulus(netlist, batch, cycles, seed)
+        batched = simulate_batch(netlist, stimulus, backend="packed")
+        for k in range(0, batch, max(1, batch // 7)):
+            single = simulate(
+                netlist, per_trace_stimulus(stimulus, k), backend="unpacked"
+            )
+            assert batched.trace(k).toggles == single.toggles
+
+    def test_word_step_fallback_matches(self):
+        import dataclasses
+
+        netlist = _feedback_counter_netlist()
+        stripped = _feedback_counter_netlist()
+        for inst in stripped.instances:
+            if inst.cell.sequential:
+                inst.cell = dataclasses.replace(inst.cell, word_step=None)
+        stimulus = batched_stimulus(netlist, 3, 100, seed=9)
+        fast = simulate_batch(netlist, stimulus, backend="packed")
+        slow = simulate_batch(stripped, stimulus, backend="packed")
+        assert set(fast.toggles) == set(slow.toggles)
+        for net in fast.toggles:
+            np.testing.assert_array_equal(fast.toggles[net], slow.toggles[net])
+        for net in fast.waveforms:
+            np.testing.assert_array_equal(fast.waveforms[net], slow.waveforms[net])
+
+    def test_shared_stimulus_core_still_resolved_once(self):
+        # All-shared stimulus: the core is identical for every trace, which
+        # must keep taking the broadcast path (and stay exact).
+        netlist = _feedback_counter_netlist()
+        rng = np.random.default_rng(4)
+        stimulus = {
+            "enable": rng.integers(0, 2, 100).astype(np.uint8),
+            "x": rng.integers(0, 2, 100).astype(np.uint8),
+        }
+        batched = simulate_batch(netlist, stimulus, backend="packed", batch=3)
+        single = simulate(netlist, stimulus, backend="unpacked")
+        for k in range(3):
+            assert batched.trace(k).toggles == single.toggles
