@@ -191,6 +191,13 @@ def test_batched_multi_trace_speedup():
 
 
 def test_packed_bipolar_dot_product_speedup_at_4096():
+    """Packed vs. unpacked bipolar engine on the stream reduction path.
+
+    Pinned to ``mode="streams"``: this row has always compared the two
+    *backends* on the adder-tree stream reduction, and the count-domain mode
+    (which skips that reduction entirely, shrinking the backend gap) has its
+    own ``bipolar_count_dot`` row in BENCH_packed.json.
+    """
     precision, taps, batch = 12, 25, 32  # stream length 4096
     rng = np.random.default_rng(1)
     x = rng.random((batch, taps))
@@ -198,7 +205,9 @@ def test_packed_bipolar_dot_product_speedup_at_4096():
 
     results, timings = {}, {}
     for backend in ("unpacked", "packed"):
-        engine = BipolarDotProductEngine(precision=precision, backend=backend)
+        engine = BipolarDotProductEngine(
+            precision=precision, backend=backend, mode="streams"
+        )
         timings[backend], results[backend] = best_of(lambda: engine.dot(x, w))
 
     np.testing.assert_array_equal(

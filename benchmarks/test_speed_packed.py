@@ -18,7 +18,13 @@ from pathlib import Path
 import numpy as np
 
 from repro.bitstream import pack_bits
-from repro.sc import StochasticConv2D, TffAdder, new_sc_engine
+from repro.sc import (
+    BipolarDotProductEngine,
+    StochasticConv2D,
+    StochasticDotProductEngine,
+    TffAdder,
+    new_sc_engine,
+)
 from repro.sc.dotproduct import stochastic_dot_product, stochastic_dot_product_packed
 from repro.utils import extract_patches
 
@@ -126,27 +132,35 @@ def test_filter_parallel_conv_speedup():
     streams regenerated each time); the filter-parallel path reduces every
     ``(filter, sign)`` tree lane in one vectorized pass per level and must be
     bit-identical while clearing the acceptance floor of 5x.
+
+    The loop side is pinned to ``mode="streams"``: it stands in for the
+    historical per-filter stream path, and under the ``"auto"`` default a
+    single ``dot_prepared`` call now collapses its TFF tree to integer
+    counts too, which would erase the contrast this row has tracked since
+    the filter-parallel change.  The bank side keeps its historical default
+    (the PR 4 count reduction for all-TFF trees).
     """
     rng = np.random.default_rng(2)
     images = rng.random((1, 16, 16))
     kernels = rng.uniform(-1.0, 1.0, (32, 5, 5))
     filters, taps = kernels.shape[0], 25
     flat_kernels = kernels.reshape(filters, taps)
-    engine = new_sc_engine(8, seed=1, backend="packed")
+    loop_engine = new_sc_engine(8, seed=1, backend="packed", mode="streams")
+    bank_engine = new_sc_engine(8, seed=1, backend="packed")
     patches = extract_patches(images, (5, 5), padding=2).reshape(-1, taps)
-    x_streams = engine.prepare_inputs(patches)
+    x_streams = loop_engine.prepare_inputs(patches)
 
     def per_filter_loop():
         pos = np.empty((patches.shape[0], filters), dtype=np.int64)
         neg = np.empty_like(pos)
         for f in range(filters):
-            result = engine.dot_prepared(x_streams, flat_kernels[f])
+            result = loop_engine.dot_prepared(x_streams, flat_kernels[f])
             pos[:, f] = result.positive_count
             neg[:, f] = result.negative_count
         return pos, neg
 
     def filter_parallel():
-        result = engine.dot_filters_prepared(x_streams, flat_kernels)
+        result = bank_engine.dot_filters_prepared(x_streams, flat_kernels)
         return result.positive_count, result.negative_count
 
     loop_s, (loop_pos, loop_neg) = best_of(per_filter_loop)
@@ -176,6 +190,107 @@ def test_filter_parallel_conv_speedup():
             "stream_length": 256,
             "per_filter_seconds": loop_s,
             "filter_parallel_seconds": parallel_s,
+            "speedup": speedup,
+        }
+    )
+
+
+def test_mux_count_conv_speedup():
+    """Count-domain MUX reduction vs. the stream path on the conv hot loop.
+
+    Table 3 scale on the filter axis: 32 MUX-adder kernels at N=256 over one
+    16x16 image's worth of patches, evaluated through the same prepared
+    filter-parallel bank the convolution layer uses per tile.  The
+    ``mode="counts"`` path folds the cached select streams into per-leaf
+    ownership masks (one masked AND/OR accumulate plus a popcount) instead of
+    reducing stream tensors level by level through ``packed_mux`` -- it must
+    be bit-identical while clearing the acceptance floor of 3x.
+    """
+    rng = np.random.default_rng(3)
+    images = rng.random((1, 16, 16))
+    kernels = rng.uniform(-1.0, 1.0, (32, 5, 5))
+    filters, taps = kernels.shape[0], 25
+    flat_kernels = kernels.reshape(filters, taps)
+    patches = extract_patches(images, (5, 5), padding=2).reshape(-1, taps)
+
+    results, timings = {}, {}
+    for mode in ("streams", "counts"):
+        engine = StochasticDotProductEngine(
+            precision=8, adder="mux", seed=1, backend="packed", mode=mode
+        )
+        x_streams = engine.prepare_inputs(patches)
+        bank = engine.prepare_weights(flat_kernels)
+        timings[mode], results[mode] = best_of(lambda: bank.counts(x_streams))
+
+    # Correctness first: count mode must be bit-identical to the stream path.
+    np.testing.assert_array_equal(results["counts"][0], results["streams"][0])
+    np.testing.assert_array_equal(results["counts"][1], results["streams"][1])
+
+    speedup = timings["streams"] / timings["counts"]
+    print(
+        f"\nmux count conv, {filters} kernels, {patches.shape[0]} patches, "
+        f"N=256: streams {timings['streams'] * 1e3:.1f} ms, "
+        f"counts {timings['counts'] * 1e3:.1f} ms ({speedup:.1f}x)"
+    )
+    assert speedup >= 3.0, (
+        f"MUX count-domain convolution only {speedup:.1f}x faster than the "
+        f"stream path (floor is 3x at {filters} filters)"
+    )
+
+    _write_artifact(
+        mux_count_conv={
+            "filters": filters,
+            "taps": taps,
+            "patches": int(patches.shape[0]),
+            "stream_length": 256,
+            "streams_seconds": timings["streams"],
+            "counts_seconds": timings["counts"],
+            "speedup": speedup,
+        }
+    )
+
+
+def test_bipolar_count_dot_speedup():
+    """Bipolar TFF engine: count-domain halving vs. the stream reduction.
+
+    128 windows x 25 taps at N=4096 (the long-stream regime where tree
+    tensors hurt most).  The count path popcounts the packed XNOR products
+    once and halves integer counts per level -- with the exact ``N/2``
+    alternating-pad count for the odd tap axis -- so it must be bit-identical
+    to the stream reduction while clearing a 1.3x end-to-end floor (stream
+    generation itself, common to both modes, dominates the remainder).
+    """
+    rng = np.random.default_rng(4)
+    x = rng.uniform(-1.0, 1.0, (128, 25))
+    w = rng.uniform(-1.0, 1.0, 25)
+
+    results, timings = {}, {}
+    for mode in ("streams", "counts"):
+        engine = BipolarDotProductEngine(
+            precision=12, adder="tff", seed=1, backend="packed", mode=mode
+        )
+        timings[mode], results[mode] = best_of(lambda: engine.dot(x, w))
+
+    np.testing.assert_array_equal(results["counts"].count, results["streams"].count)
+
+    speedup = timings["streams"] / timings["counts"]
+    print(
+        f"\nbipolar count dot, 128 windows, 25 taps, N=4096: "
+        f"streams {timings['streams'] * 1e3:.1f} ms, "
+        f"counts {timings['counts'] * 1e3:.1f} ms ({speedup:.1f}x)"
+    )
+    assert speedup >= 1.3, (
+        f"bipolar count-domain dot only {speedup:.1f}x faster than the "
+        f"stream path (floor is 1.3x at stream length 4096)"
+    )
+
+    _write_artifact(
+        bipolar_count_dot={
+            "windows": int(x.shape[0]),
+            "taps": 25,
+            "stream_length": 4096,
+            "streams_seconds": timings["streams"],
+            "counts_seconds": timings["counts"],
             "speedup": speedup,
         }
     )

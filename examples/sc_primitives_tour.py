@@ -163,6 +163,32 @@ def main() -> None:
     print(f"32 kernels x 256 windows at N=256: per-filter loop {loop_s * 1e3:6.1f} ms, "
           f"filter-parallel {bank_s * 1e3:6.1f} ms ({loop_s / bank_s:.0f}x)")
 
+    section("Count-domain mode: adder trees without adder-tree streams")
+    # mode="counts" (the default via "auto") never materializes a tree node's
+    # bit-stream: all-TFF trees reduce integer counts with floor/ceil((cx+cy)/2)
+    # per level, and all-MUX trees fold their cached select streams into one
+    # disjoint ownership mask per leaf, so the root count is a single masked
+    # popcount.  Both shortcuts are exact -- identical counters, not close ones
+    # -- so the mode (engine arg, REPRO_MODE, or --mode on the CLI) trades
+    # speed and memory only.  OR trees are position-dependent and always run
+    # as streams ("counts" raises for them).
+    for adder in ("mux", "tff"):
+        stream_eng = StochasticDotProductEngine(
+            precision=8, adder=adder, backend="packed", mode="streams")
+        count_eng = StochasticDotProductEngine(
+            precision=8, adder=adder, backend="packed", mode="counts")
+        start = time.perf_counter()
+        via_streams = stream_eng.dot_filters(windows, conv_kernels)
+        stream_s = time.perf_counter() - start
+        start = time.perf_counter()
+        via_counts = count_eng.dot_filters(windows, conv_kernels)
+        count_s = time.perf_counter() - start
+        assert np.array_equal(via_streams.positive_count, via_counts.positive_count)
+        assert np.array_equal(via_streams.negative_count, via_counts.negative_count)
+        print(f"{adder:>4s} tree, 32 kernels x 256 windows: streams "
+              f"{stream_s * 1e3:6.1f} ms, counts {count_s * 1e3:6.1f} ms "
+              f"({stream_s / count_s:.1f}x), identical counters")
+
     section("Tile-streamed execution: full-scale bit-exact runs in bounded memory")
     # StochasticConv2D(tile_patches=...) / REPRO_TILE_PATCHES caps how many
     # patches are in flight; counts are accumulated tile by tile and stay

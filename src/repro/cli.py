@@ -12,13 +12,19 @@ Usage (after ``pip install -e .``):
 
 The accuracy experiment honours the same environment variables as the
 benchmark suite (REPRO_TRAIN_SIZE, REPRO_TEST_SIZE, REPRO_BITEXACT,
-REPRO_EVAL_IMAGES, REPRO_BACKEND, REPRO_TILE_PATCHES).  For full-test-set
+REPRO_EVAL_IMAGES, REPRO_BACKEND, REPRO_MODE, REPRO_TILE_PATCHES).  For full-test-set
 bit-exact runs (``REPRO_BITEXACT=1`` without ``REPRO_EVAL_IMAGES``), pass
 ``accuracy --tile-patches P`` (or set ``REPRO_TILE_PATCHES``) to stream the
 stochastic convolution in bounded-memory patch tiles.  ``table1``, ``table2``, ``accuracy`` and
 ``activity`` accept ``--backend {packed,unpacked}`` to select the bit-level
 simulation backend (both produce bit-identical numbers; packed is ~10x
-faster).  ``activity`` runs the PrimeTime-style switching-annotated power
+faster).  ``table1``, ``table2`` and ``accuracy`` also accept
+``--mode {auto,counts,streams}`` (or ``REPRO_MODE``) to choose the
+adder-tree evaluation mode: ``counts`` runs the exact count-domain shortcut
+(no adder-tree stream tensors), ``streams`` forces the reference stream
+reduction, and ``auto`` -- the default -- picks counts whenever exact.
+Every mode is bit-identical; the knob trades speed and memory only.
+``activity`` runs the PrimeTime-style switching-annotated power
 estimate: it simulates the Table 3 stochastic dot-product netlist against a
 random bit-stream trace and rolls the per-net toggle counts into power;
 ``--traces K`` stacks K stimulus sets on a leading axis and covers them all
@@ -32,7 +38,7 @@ from __future__ import annotations
 import argparse
 from typing import Optional, Sequence
 
-from .sc import BACKENDS, resolve_backend
+from .sc import BACKENDS, MODES, resolve_backend, resolve_mode
 
 from .eval import (
     AccuracyConfig,
@@ -78,16 +84,29 @@ def build_parser() -> argparse.ArgumentParser:
                  "packed is ~10x faster; default: $REPRO_BACKEND or packed)",
         )
 
+    def add_mode(subparser: argparse.ArgumentParser) -> None:
+        # Mirrors add_backend: an omitted flag defers to REPRO_MODE (then
+        # "auto"), while an explicit flag beats the environment.
+        subparser.add_argument(
+            "--mode", choices=MODES, default=None,
+            help="adder-tree evaluation mode: counts (exact count-domain "
+                 "shortcut), streams (reference stream reduction) or auto "
+                 "(counts whenever exact); bit-identical results either way "
+                 "(default: $REPRO_MODE or auto)",
+        )
+
     table1 = sub.add_parser("table1", help="stochastic multiplier MSE (Table 1)")
     table1.add_argument(
         "--precisions", type=_parse_precisions, default=(8, 4),
         help="comma-separated precisions, e.g. 8,4",
     )
     add_backend(table1)
+    add_mode(table1)
 
     table2 = sub.add_parser("table2", help="stochastic adder MSE (Table 2)")
     table2.add_argument("--precisions", type=_parse_precisions, default=(8, 4))
     add_backend(table2)
+    add_mode(table2)
 
     hardware = sub.add_parser("hardware", help="power / energy / area (Table 3 bottom)")
     hardware.add_argument("--precisions", type=_parse_precisions, default=(8, 7, 6, 5, 4, 3, 2))
@@ -120,6 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
              "or untiled)",
     )
     add_backend(accuracy)
+    add_mode(accuracy)
 
     activity = sub.add_parser(
         "activity",
@@ -149,6 +169,14 @@ def _resolve_backend(arg: Optional[str]) -> str:
     """CLI wrapper for :func:`repro.sc.resolve_backend`: fail with a clean message."""
     try:
         return resolve_backend(arg)
+    except ValueError as exc:
+        raise SystemExit(f"repro: error: {exc}") from exc
+
+
+def _resolve_mode(arg: Optional[str]) -> str:
+    """CLI wrapper for :func:`repro.sc.resolve_mode`: fail with a clean message."""
+    try:
+        return resolve_mode(arg)
     except ValueError as exc:
         raise SystemExit(f"repro: error: {exc}") from exc
 
@@ -207,6 +235,7 @@ def _accuracy_config(args: argparse.Namespace) -> AccuracyConfig:
     kwargs = dict(
         include_no_retrain=args.no_retrain_row,
         backend=_resolve_backend(args.backend),
+        mode=_resolve_mode(args.mode),
         tile_patches=args.tile_patches,
     )
     if args.quick:
@@ -240,10 +269,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "table1":
         backend = _resolve_backend(args.backend)
-        print(format_table1(run_table1(precisions=args.precisions, backend=backend)))
+        mode = _resolve_mode(args.mode)
+        print(format_table1(
+            run_table1(precisions=args.precisions, backend=backend, mode=mode)
+        ))
     elif args.command == "table2":
         backend = _resolve_backend(args.backend)
-        print(format_table2(run_table2(precisions=args.precisions, backend=backend)))
+        mode = _resolve_mode(args.mode)
+        print(format_table2(
+            run_table2(precisions=args.precisions, backend=backend, mode=mode)
+        ))
     elif args.command == "hardware":
         if args.activity_traces < 0:
             raise SystemExit("repro: error: --activity-traces must be non-negative")

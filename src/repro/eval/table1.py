@@ -16,7 +16,7 @@ import numpy as np
 from ..bitstream import stream_length
 from ..bitstream.packed import packed_popcount
 from ..rng.sng import TABLE1_SCHEMES, sng_pair
-from ..sc.dotproduct import resolve_backend
+from ..sc.dotproduct import resolve_backend, resolve_mode
 
 __all__ = ["Table1Result", "multiplier_mse", "run_table1"]
 
@@ -39,7 +39,11 @@ class Table1Result:
 
 
 def multiplier_mse(
-    scheme: str, precision: int, seed: int = 1, backend: str | None = None
+    scheme: str,
+    precision: int,
+    seed: int = 1,
+    backend: str | None = None,
+    mode: str | None = None,
 ) -> float:
     """Exhaustive MSE of the AND multiplier under one number-generation scheme.
 
@@ -48,8 +52,14 @@ def multiplier_mse(
     the exact product.  Both backends evaluate the same comparator bits, so
     the MSE is identical; ``"packed"`` runs the AND/popcount sweep on 64-bit
     words instead of bytes.  ``None`` defers to REPRO_BACKEND, then "packed".
+
+    ``mode`` is accepted (and validated, see :mod:`repro.sc.mode`) for
+    interface symmetry with the other table evaluators, but the multiplier
+    sweep involves no adder tree: its estimate is already one popcount of the
+    AND product, so ``"counts"`` and ``"streams"`` run the identical code.
     """
     backend = resolve_backend(backend)
+    resolve_mode(mode)
     n = stream_length(precision)
     values = np.arange(n + 1, dtype=np.float64) / n
     sng_x, sng_y = sng_pair(scheme, precision, seed=seed)
@@ -72,13 +82,16 @@ def run_table1(
     schemes: Sequence[str] | None = None,
     seed: int = 1,
     backend: str | None = None,
+    mode: str | None = None,
 ) -> Table1Result:
     """Reproduce Table 1 for the requested precisions and schemes."""
     schemes = list(schemes) if schemes is not None else list(TABLE1_SCHEMES)
     mse: Dict[str, Dict[int, float]] = {}
     for scheme in schemes:
         mse[scheme] = {
-            precision: multiplier_mse(scheme, precision, seed=seed, backend=backend)
+            precision: multiplier_mse(
+                scheme, precision, seed=seed, backend=backend, mode=mode
+            )
             for precision in precisions
         }
     return Table1Result(mse=mse, precisions=tuple(precisions))

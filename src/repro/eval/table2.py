@@ -30,7 +30,7 @@ from ..bitstream.packed import (
     packed_tff_add,
 )
 from ..rng import ComparatorSNG, LFSRSource, PseudoRandomSource, SobolSource, VanDerCorputSource
-from ..sc.dotproduct import resolve_backend
+from ..sc.dotproduct import resolve_backend, resolve_mode
 from ..sc.elements.adders import mux_add, tff_add
 
 __all__ = ["ADDER_CONFIGS", "Table2Result", "adder_mse", "run_table2"]
@@ -90,7 +90,11 @@ def _select_bits(config: str, precision: int, length: int, seed: int) -> np.ndar
 
 
 def adder_mse(
-    config: str, precision: int, seed: int = 1, backend: str | None = None
+    config: str,
+    precision: int,
+    seed: int = 1,
+    backend: str | None = None,
+    mode: str | None = None,
 ) -> float:
     """Exhaustive MSE of one adder configuration at one precision.
 
@@ -98,15 +102,56 @@ def adder_mse(
     kernels are bit-identical to the byte-level ones), so the MSE does not
     depend on ``backend`` -- only the sweep's speed and memory footprint do.
     ``None`` defers to REPRO_BACKEND, then "packed".
+
+    Under ``mode="counts"`` (the ``"auto"`` default, see
+    :mod:`repro.sc.mode`) the sweep never materializes the ``(N+1, N+1)``
+    grid of sum streams: a single TFF adder's output count is exactly
+    ``floor((ones_x + ones_y) / 2)`` and a single MUX adder's is exactly
+    ``popcount(x & ~sel) + popcount(y & sel)``, so the full grid of counts is
+    one outer sum of two length-``N+1`` count vectors -- bit-identical
+    estimates, O(N) instead of O(N^2) stream memory.  ``mode="streams"``
+    forces the reference kernel sweep.
     """
     if config not in ADDER_CONFIGS:
         raise ValueError(f"unknown adder config {config!r}; expected {sorted(ADDER_CONFIGS)}")
     backend = resolve_backend(backend)
+    mode = resolve_mode(mode)
     n = stream_length(precision)
     values = np.arange(n + 1, dtype=np.float64) / n
     sng_x, sng_y = _data_generators(config, precision, seed)
 
-    if backend == "packed":
+    if mode != "streams":
+        if backend == "packed":
+            x_words = sng_x.generate_packed(values, n)  # (n+1, W)
+            y_words = sng_y.generate_packed(values, n)
+            if config == "new_tff":
+                # TffAdder with initial_state=0: count = floor((cx + cy) / 2).
+                counts = (
+                    packed_popcount(x_words)[:, np.newaxis]
+                    + packed_popcount(y_words)[np.newaxis, :]
+                ) >> 1
+            else:
+                select = pack_bits(_select_bits(config, precision, n, seed))
+                counts = (
+                    packed_popcount(x_words & ~select)[:, np.newaxis]
+                    + packed_popcount(y_words & select)[np.newaxis, :]
+                )
+        else:
+            x_bits = sng_x.generate_bits(values, n)
+            y_bits = sng_y.generate_bits(values, n)
+            if config == "new_tff":
+                counts = (
+                    x_bits.sum(axis=-1, dtype=np.int64)[:, np.newaxis]
+                    + y_bits.sum(axis=-1, dtype=np.int64)[np.newaxis, :]
+                ) >> 1
+            else:
+                select = _select_bits(config, precision, n, seed)
+                counts = (
+                    (x_bits & (select ^ 1)).sum(axis=-1, dtype=np.int64)[:, np.newaxis]
+                    + (y_bits & select).sum(axis=-1, dtype=np.int64)[np.newaxis, :]
+                )
+        estimates = counts / n
+    elif backend == "packed":
         x_words = sng_x.generate_packed(values, n)  # (n+1, W)
         y_words = sng_y.generate_packed(values, n)
         x_all = np.broadcast_to(
@@ -141,13 +186,14 @@ def run_table2(
     configs: Sequence[str] | None = None,
     seed: int = 1,
     backend: str | None = None,
+    mode: str | None = None,
 ) -> Table2Result:
     """Reproduce Table 2 for the requested precisions and adder configurations."""
     configs = list(configs) if configs is not None else list(ADDER_CONFIGS)
     mse: Dict[str, Dict[int, float]] = {}
     for config in configs:
         mse[config] = {
-            precision: adder_mse(config, precision, seed=seed, backend=backend)
+            precision: adder_mse(config, precision, seed=seed, backend=backend, mode=mode)
             for precision in precisions
         }
     return Table2Result(mse=mse, precisions=tuple(precisions))

@@ -14,7 +14,8 @@ For every precision the harness produces three rows, mirroring the paper:
 The experiment is CPU-budget-aware: dataset sizes, training epochs and the
 number of bit-exact evaluation images are configurable (environment variables
 ``REPRO_TRAIN_SIZE``, ``REPRO_TEST_SIZE``, ``REPRO_EVAL_IMAGES``,
-``REPRO_BITEXACT``, ``REPRO_TILE_PATCHES``), and the stochastic rows default
+``REPRO_BITEXACT``, ``REPRO_TILE_PATCHES``, ``REPRO_MODE``), and the
+stochastic rows default
 to the calibrated fast emulator validated against bit-exact simulation (see
 DESIGN.md).  With ``REPRO_BITEXACT=1`` the filter-parallel, tile-streamed
 convolution path (see :mod:`repro.sc.convolution`) lets the stochastic rows
@@ -33,7 +34,13 @@ import numpy as np
 from ..datasets import load_dataset
 from ..hybrid import HybridStochasticBinaryNetwork
 from ..nn import Adam, Sequential, build_lenet5_small, quantize_and_freeze, retrain
-from ..sc import new_sc_engine, old_sc_engine, resolve_backend, resolve_tile_patches
+from ..sc import (
+    new_sc_engine,
+    old_sc_engine,
+    resolve_backend,
+    resolve_mode,
+    resolve_tile_patches,
+)
 
 __all__ = ["AccuracyConfig", "Table3AccuracyResult", "run_table3_accuracy"]
 
@@ -72,6 +79,14 @@ class AccuracyConfig:
     #: resolves to the REPRO_BACKEND environment variable, falling back to
     #: "packed"; an explicitly passed value always wins over the environment.
     backend: Optional[str] = None
+    #: Adder-tree evaluation mode for the stochastic engines: "counts" (exact
+    #: count-domain shortcut, no adder-tree stream tensors), "streams" (the
+    #: reference stream reduction) or "auto" (counts whenever exact -- TFF and
+    #: MUX trees; see :mod:`repro.sc.mode`).  Bit-identical counters either
+    #: way, so reported rates do not depend on it.  None resolves to the
+    #: REPRO_MODE environment variable, falling back to "auto"; an explicitly
+    #: passed value always wins over the environment.
+    mode: Optional[str] = None
     #: Retrain the binary remainder against a first layer that emulates the
     #: stochastic engine's resolution (input quantization + counter LSBs) for
     #: the stochastic rows, per the paper's "compensate for precision losses
@@ -88,6 +103,7 @@ class AccuracyConfig:
         if os.environ.get("REPRO_BITEXACT") == "1":
             self.sc_mode = "bitexact"
         self.backend = resolve_backend(self.backend)
+        self.mode = resolve_mode(self.mode)
         self.tile_patches = resolve_tile_patches(self.tile_patches)
         if self.sc_eval_images is None:
             env = os.environ.get("REPRO_EVAL_IMAGES")
@@ -201,7 +217,10 @@ def run_table3_accuracy(config: Optional[AccuracyConfig] = None) -> Table3Accura
             hybrid = HybridStochasticBinaryNetwork(
                 sc_model,
                 engine=engine_factory(
-                    precision, seed=config.seed + 1, backend=config.backend
+                    precision,
+                    seed=config.seed + 1,
+                    backend=config.backend,
+                    mode=config.mode,
                 ),
                 soft_threshold=config.soft_threshold,
                 seed=config.seed,

@@ -18,7 +18,25 @@ Like the unipolar engine, the bipolar engine runs on either simulation
 ``backend``: ``"packed"`` (64 stream bits per uint64 word, word-level XNOR /
 adder-tree kernels) or ``"unpacked"`` (one byte per bit).  Both backends are
 bit-order exact -- identical counter values in every configuration -- so the
-choice only affects speed and memory.
+choice only affects speed and memory.  It also honours the engine ``mode``
+(:mod:`repro.sc.mode`): in count mode (the default, exact for both its adder
+types) the XNOR products are popcounted once and the tree is reduced in the
+count domain -- integer ``floor((cx + cy) / 2)`` halving for TFF trees, with
+odd tap counts padded by the exact alternating-stream count ``N / 2``;
+cached select masks for MUX trees -- never materializing an adder-tree
+stream tensor, bit-identically to stream mode.
+
+Sign-tie contract
+-----------------
+The bipolar sign activation is a hardware comparator against the mid-scale
+count ``N / 2`` and emits only +-1: the exact tie ``2 * count == length``
+resolves to **+1** (the comparator's "not below the decision point" side).
+This deliberately differs from the paper's split-weight unipolar design,
+whose sign activation compares *two* counters and reports **0** when they
+are exactly equal (see :func:`repro.sc.elements.converters.sign_from_counts`
+and :class:`repro.sc.convolution.StochasticConv2D`): there a tie is a
+representable "exactly zero" output, while a single mid-scale counter has no
+zero code.  Both behaviours are pinned by regression tests.
 """
 
 from __future__ import annotations
@@ -31,10 +49,10 @@ import numpy as np
 from ..bitstream import bipolar_to_unipolar
 from ..bitstream.packed import packed_alternating, packed_popcount, packed_xnor
 from ..rng import ComparatorSNG, SobolSource, VanDerCorputSource
-from .elements.adders import AdderTree, MuxAdder, TffAdder
+from .elements.adders import AdderTree, MuxAdder, TffAdder, TreePlan
 from .elements.converters import count_ones
 from .elements.multipliers import xnor_multiply
-from .dotproduct import resolve_backend, stream_length
+from .dotproduct import resolve_backend, resolve_mode, stream_length
 
 __all__ = ["BipolarDotProductResult", "BipolarDotProductEngine"]
 
@@ -62,7 +80,10 @@ class BipolarDotProductResult:
 
         A hardware sign activation emits only +-1; the exact tie
         ``2 * count == length`` (counter at mid-scale) resolves to +1, the
-        comparator's "not below the decision point" side.
+        comparator's "not below the decision point" side.  This is
+        intentionally asymmetric with the split-weight unipolar design,
+        which compares two counters and emits 0 on an exact tie (see the
+        module docstring's sign-tie contract).
         """
         count2 = self.count.astype(np.int64) * 2
         return np.where(count2 >= self.length, 1, -1).astype(np.int8)
@@ -86,12 +107,20 @@ class BipolarDotProductEngine:
         either way.  ``None`` (the default) resolves to the ``REPRO_BACKEND``
         environment variable, falling back to ``"packed"`` (see
         :func:`repro.sc.dotproduct.resolve_backend`).
+    mode:
+        ``"counts"`` reduces the adder tree in the count domain (exact for
+        both supported adders -- see the module docstring), ``"streams"``
+        forces the reference stream reduction, ``"auto"`` picks counts.
+        Bit-identical counter values either way.  ``None`` (the default)
+        resolves to the ``REPRO_MODE`` environment variable, falling back to
+        ``"auto"`` (see :func:`repro.sc.dotproduct.resolve_mode`).
     """
 
     precision: int = 8
     adder: str = "tff"
     seed: int = 1
     backend: Optional[str] = None
+    mode: Optional[str] = None
     _mux_seed_counter: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
@@ -100,6 +129,13 @@ class BipolarDotProductEngine:
         if self.adder not in ("tff", "mux"):
             raise ValueError(f"unknown adder {self.adder!r}")
         self.backend = resolve_backend(self.backend)
+        self.mode = resolve_mode(self.mode)
+
+    @property
+    def _use_count_mode(self) -> bool:
+        # Both supported adders (TFF, MUX) have exact count-domain
+        # evaluations, so only an explicit "streams" forces stream tensors.
+        return self.mode != "streams"
 
     @property
     def length(self) -> int:
@@ -127,6 +163,11 @@ class BipolarDotProductEngine:
 
     def _input_probabilities(self, values: np.ndarray) -> np.ndarray:
         values = np.asarray(values, dtype=np.float64)
+        if np.any(np.abs(values) > 1.0 + 1e-9):
+            # Raise exactly like the weight side: silently clipping here
+            # used to mask calibration errors upstream (values far outside
+            # the bipolar range would quietly saturate to +-1).
+            raise ValueError("bipolar inputs must lie in [-1, 1]")
         return bipolar_to_unipolar(np.clip(values, -1.0, 1.0))
 
     def _weight_probabilities(self, weights: np.ndarray) -> np.ndarray:
@@ -204,25 +245,38 @@ class BipolarDotProductEngine:
     def _dot_unpacked(
         self, x_bits: np.ndarray, weights: np.ndarray
     ) -> BipolarDotProductResult:
-        """Byte-per-bit reference evaluation."""
+        """Byte-per-bit evaluation (count or stream domain per :attr:`mode`)."""
         w_bits = self.weight_streams(weights)
         products = np.asarray(xnor_multiply(x_bits, w_bits))
+        taps = products.shape[-2]
+        depth = AdderTree().depth(taps)
+        padded_taps = 1 << depth
+
+        if self._use_count_mode and self.adder == "tff":
+            # Exact count shortcut: popcount the XNOR products once and
+            # halve integer counts level by level.  Odd tap counts are
+            # padded with the *count* of the alternating bipolar-zero pad
+            # stream -- exactly N/2 ones -- instead of the stream itself.
+            counts = self._tff_tree_counts(count_ones(products), depth, padded_taps)
+            return BipolarDotProductResult(
+                count=counts, length=self.length, tree_scale=1 << depth
+            )
 
         # Pad the tap axis to a power of two with bipolar-zero (density 0.5)
         # streams: an all-zeros pad would encode -1 and bias the sum.
-        taps = products.shape[-2]
-        tree = AdderTree(self._adder_factory())
-        depth = tree.depth(taps)
-        padded_taps = 1 << depth
         if padded_taps != taps:
             pad_shape = products.shape[:-2] + (padded_taps - taps, self.length)
             zero_value = np.zeros(pad_shape, dtype=np.uint8)
             zero_value[..., ::2] = 1  # alternating 0101... -> density exactly 0.5
             products = np.concatenate([products, zero_value], axis=-2)
 
-        summed = tree.reduce(products)
+        plan = AdderTree(self._adder_factory()).plan(padded_taps)
+        if self._use_count_mode:
+            counts = plan.masked_counts_bits(products)
+        else:
+            counts = count_ones(plan.reduce_bits(products))
         return BipolarDotProductResult(
-            count=count_ones(summed), length=self.length, tree_scale=1 << depth
+            count=counts, length=self.length, tree_scale=1 << depth
         )
 
     def _dot_packed(
@@ -231,11 +285,18 @@ class BipolarDotProductEngine:
         """Packed-word evaluation, bit-identical to :meth:`_dot_unpacked`."""
         w_words = self.weight_words(weights)
         products = packed_xnor(x_words, w_words, self.length)
-
         taps = products.shape[-2]
-        tree = AdderTree(self._adder_factory())
-        depth = tree.depth(taps)
+        depth = AdderTree().depth(taps)
         padded_taps = 1 << depth
+
+        if self._use_count_mode and self.adder == "tff":
+            counts = self._tff_tree_counts(
+                packed_popcount(products), depth, padded_taps
+            )
+            return BipolarDotProductResult(
+                count=counts, length=self.length, tree_scale=1 << depth
+            )
+
         if padded_taps != taps:
             pad = np.broadcast_to(
                 packed_alternating(self.length),
@@ -243,7 +304,34 @@ class BipolarDotProductEngine:
             )
             products = np.concatenate([products, pad], axis=-2)
 
-        summed = tree.reduce_packed(products, self.length)
+        plan = AdderTree(self._adder_factory()).plan(padded_taps)
+        if self._use_count_mode:
+            counts = plan.masked_counts_packed(products, self.length)
+        else:
+            counts = packed_popcount(plan.reduce_packed(products, self.length))
         return BipolarDotProductResult(
-            count=packed_popcount(summed), length=self.length, tree_scale=1 << depth
+            count=counts, length=self.length, tree_scale=1 << depth
         )
+
+    def _tff_tree_counts(
+        self, leaf_counts: np.ndarray, depth: int, padded_taps: int
+    ) -> np.ndarray:
+        """Count-domain all-TFF reduction with exact bipolar-zero padding.
+
+        ``leaf_counts`` holds the per-tap XNOR product ones-counts
+        ``(..., taps)``.  Missing leaves up to ``padded_taps`` contribute
+        exactly ``N / 2`` ones each (the alternating 0101... pad stream has
+        one 1 per bit pair and ``N = 2**precision`` is even), so the padded
+        integer reduction is bit-identical to reducing the padded streams.
+        """
+        taps = leaf_counts.shape[-1]
+        if padded_taps != taps:
+            padded = np.full(
+                leaf_counts.shape[:-1] + (padded_taps,),
+                self.length // 2,
+                dtype=np.int64,
+            )
+            padded[..., :taps] = leaf_counts
+            leaf_counts = padded
+        plan = TreePlan(TffAdder, padded_taps)
+        return plan.reduce_counts(leaf_counts)

@@ -32,6 +32,16 @@ taps * words)`` regardless of batch size -- this is what lets
 is stateless and the weight bank (select streams included) is built once and
 reused, so any tiling -- including tile sizes that do not divide the patch
 count -- produces counts bit-identical to one untiled pass.
+
+Evaluation mode
+---------------
+The layer inherits the engine's evaluation mode (:mod:`repro.sc.mode`):
+under ``mode="counts"`` (the ``"auto"`` default for TFF and MUX adder
+trees) the per-tile reduction never materializes adder-tree stream tensors
+-- TFF trees reduce integer counts per level and MUX trees apply cached
+select-ownership masks -- while ``mode="streams"`` forces the reference
+stream reduction.  Both produce bit-identical counters, so the mode is
+purely a speed/memory knob for Table 3-scale runs.
 """
 
 from __future__ import annotations
@@ -175,7 +185,11 @@ class StochasticConv2D:
         images = np.asarray(images, dtype=np.float64)
         if images.ndim != 3:
             raise ValueError(f"expected (batch, H, W) images, got {images.shape}")
-        if images.min() < -1e-9 or images.max() > 1.0 + 1e-9:
+        # Guard the range check behind ``size``: an empty batch has no pixels
+        # to validate and ``min()``/``max()`` would raise on it.  Geometry is
+        # still validated (via ``output_shape``) so only ``batch == 0`` with a
+        # legal spatial shape reaches the empty fast path below.
+        if images.size and (images.min() < -1e-9 or images.max() > 1.0 + 1e-9):
             raise ValueError("pixel values must lie in [0, 1]")
 
         kh, kw = self.kernel_size
@@ -190,7 +204,10 @@ class StochasticConv2D:
 
         flat = patches.reshape(batch * n_patches, taps)
         total = flat.shape[0]
-        tile = self.tile_patches if self.tile_patches is not None else total
+        # ``max(total, 1)`` keeps the tile step positive for an empty batch,
+        # where the loop body never runs and the empty count arrays pass
+        # straight through to correctly-shaped ``(0, F, out_h, out_w)`` maps.
+        tile = self.tile_patches if self.tile_patches is not None else max(total, 1)
         pos = np.empty((total, self.filters), dtype=np.int64)
         neg = np.empty_like(pos)
         for start in range(0, total, tile):
@@ -211,15 +228,14 @@ class StochasticConv2D:
             sign = np.where(below, 0, sign).astype(np.int8)
             value = np.where(below, 0.0, value)
 
+        # ``patches_to_map`` is a pure reshape/transpose, so counts stay int64
+        # end to end -- no float64 round trip that would silently corrupt
+        # counter values beyond 2**53.
         return StochasticConvResult(
-            sign=patches_to_map(sign.astype(np.float64), (out_h, out_w)).astype(np.int8),
+            sign=patches_to_map(sign, (out_h, out_w)),
             value=patches_to_map(value, (out_h, out_w)),
-            positive_count=patches_to_map(pos.astype(np.float64), (out_h, out_w)).astype(
-                np.int64
-            ),
-            negative_count=patches_to_map(neg.astype(np.float64), (out_h, out_w)).astype(
-                np.int64
-            ),
+            positive_count=patches_to_map(pos, (out_h, out_w)),
+            negative_count=patches_to_map(neg, (out_h, out_w)),
         )
 
     def __repr__(self) -> str:

@@ -42,11 +42,15 @@ from ..rng import (
 from .elements.adders import AdderTree, MuxAdder, OrAdder, TffAdder, TreePlan
 from .elements.converters import count_ones, sign_from_counts
 from .elements.util import as_bits
+from .mode import MODES, resolve_mode, validate_mode
 
 __all__ = [
     "BACKENDS",
+    "MODES",
     "resolve_backend",
+    "resolve_mode",
     "validate_backend",
+    "validate_mode",
     "split_weights",
     "stochastic_dot_product",
     "stochastic_dot_product_packed",
@@ -58,8 +62,9 @@ __all__ = [
 ]
 
 # Backend selection lives in the shared representation layer
-# (repro.bitstream.backend); re-exported here because the engines are its
-# primary consumers and existing callers import it from this module.
+# (repro.bitstream.backend) and mode selection in repro.sc.mode; both are
+# re-exported here because the engines are their primary consumers and
+# existing callers import them from this module.
 
 
 def split_weights(weights: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -195,11 +200,33 @@ class PreparedWeights:
         self.plan: TreePlan = AdderTree(engine._adder_factory()).plan(
             self.taps, lanes=2 * self.filters
         )
+        # MUX count mode folds the leaf ownership masks into the weight
+        # streams once (lazily), so per-tile evaluation is a masked AND/OR
+        # accumulate plus one popcount -- no adder-tree stream tensor.
+        self._masked_weights: Optional[np.ndarray] = None
 
     @property
     def tree_scale(self) -> int:
         """Counter scale ``2**depth`` of each per-filter adder tree."""
         return self.plan.tree_scale
+
+    def _masked_weight_bank(self) -> np.ndarray:
+        """Weight streams pre-ANDed with their lane's leaf ownership masks.
+
+        Shape ``(2 * filters, taps, W-or-N)`` (lane-major like the plan).
+        Because the masks of one lane are disjoint across leaves, the lane's
+        root stream is ``OR over taps of (input & masked_weight)`` and its
+        count one popcount -- the MUX count-mode kernel.
+        """
+        if self._masked_weights is None:
+            masks = self.plan.leaf_masks(
+                self.n_bits, packed=self.engine.backend == "packed"
+            )
+            flat = self.weight_streams.reshape(
+                2 * self.filters, self.taps, self.weight_streams.shape[-1]
+            )
+            self._masked_weights = flat & masks
+        return self._masked_weights
 
     def counts(self, prepared: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Positive and negative tree counts for prepared input streams.
@@ -209,6 +236,13 @@ class PreparedWeights:
         ``(..., taps, W-or-N)``; returns ``(positive, negative)`` int64 count
         arrays of shape ``(..., filters)``, bit-identical to per-filter
         :meth:`~StochasticDotProductEngine.dot_prepared` calls.
+
+        The engine's :attr:`~StochasticDotProductEngine.mode` selects the
+        evaluation: in count mode (the default whenever exact) TFF trees
+        reduce integer leaf counts and MUX trees apply the cached select
+        masks -- neither materializes an adder-tree stream tensor -- while
+        stream mode runs the reference level-by-level reduction.  Every path
+        produces identical counts.
         """
         x = np.asarray(prepared)
         if x.ndim < 2 or x.shape[-2] != self.taps:
@@ -216,12 +250,29 @@ class PreparedWeights:
                 f"prepared inputs must have {self.taps} taps on axis -2, "
                 f"got shape {x.shape}"
             )
+        packed = self.engine.backend == "packed"
+        use_counts = self.engine._use_count_mode(self.plan)
+        if use_counts and not self.plan.supports_count_reduction:
+            # All-MUX count mode: accumulate the select-masked products
+            # tap by tap (bounded temporaries) and popcount once per lane.
+            masked_w = self._masked_weight_bank()
+            acc = np.zeros(
+                x.shape[:-2] + (2 * self.filters, x.shape[-1]), dtype=x.dtype
+            )
+            for t in range(self.taps):
+                acc |= x[..., t, :][..., np.newaxis, :] & masked_w[:, t, :]
+            flat_counts = (
+                packed_popcount(acc) if packed else acc.sum(axis=-1, dtype=np.int64)
+            )
+            stacked = flat_counts.reshape(
+                flat_counts.shape[:-1] + (self.filters, 2)
+            )
+            return stacked[..., 0], stacked[..., 1]
         products = x[..., np.newaxis, np.newaxis, :, :] & self.weight_streams
         lanes = products.reshape(
             products.shape[:-4] + (2 * self.filters, self.taps, products.shape[-1])
         )
-        packed = self.engine.backend == "packed"
-        if self.plan.supports_count_reduction:
+        if use_counts:
             # All-TFF trees admit the exact count-domain shortcut: popcount
             # the tap products once, then reduce integer counts level by
             # level (floor/ceil halving) -- provably bit-identical to the
@@ -267,6 +318,16 @@ class StochasticDotProductEngine:
         so the choice only affects speed and memory.  ``None`` (the default)
         resolves to the ``REPRO_BACKEND`` environment variable, falling back
         to ``"packed"`` (see :func:`resolve_backend`).
+    mode:
+        ``"counts"`` evaluates the adder tree in the count domain -- integer
+        halving for TFF trees, cached select masks for MUX trees -- and
+        never materializes a tree stream tensor; ``"streams"`` forces the
+        reference stream reduction; ``"auto"`` (the resolution default)
+        picks counts whenever the configuration admits the exact shortcut
+        (TFF and MUX trees do, OR trees do not).  Every mode produces
+        bit-identical counter values; the choice only affects speed and
+        memory.  ``None`` resolves to the ``REPRO_MODE`` environment
+        variable, falling back to ``"auto"`` (see :func:`resolve_mode`).
     """
 
     precision: int = 8
@@ -275,6 +336,7 @@ class StochasticDotProductEngine:
     weight_generator: str = "lowdisc"
     seed: int = 1
     backend: Optional[str] = None
+    mode: Optional[str] = None
     _mux_seed_counter: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
@@ -287,6 +349,25 @@ class StochasticDotProductEngine:
         if self.weight_generator not in ("lowdisc", "lfsr"):
             raise ValueError(f"unknown weight generator {self.weight_generator!r}")
         self.backend = resolve_backend(self.backend)
+        self.mode = resolve_mode(self.mode)
+        if self.mode == "counts" and self.adder == "or":
+            raise ValueError(
+                "mode='counts' is exact only for TFF and MUX adder trees; "
+                "the OR adder's output is position-dependent -- use "
+                "mode='streams' (or 'auto')"
+            )
+
+    def _use_count_mode(self, plan: TreePlan) -> bool:
+        """Whether ``plan`` should reduce in the count domain under :attr:`mode`."""
+        if self.mode == "streams":
+            return False
+        supported = plan.supports_count_reduction or plan.supports_masked_reduction
+        if not supported and self.mode == "counts":
+            raise ValueError(
+                "mode='counts' is exact only for all-TFF or all-MUX adder "
+                "trees; this plan mixes or lacks such levels"
+            )
+        return supported
 
     # ------------------------------------------------------------------ #
     # stream generation
@@ -445,6 +526,20 @@ class StochasticDotProductEngine:
             )
         return self.dot_prepared(self.prepare_inputs(x), weights)
 
+    def _plan_counts(self, products: np.ndarray, plan: TreePlan) -> np.ndarray:
+        """Root ones-counts of ``(..., k, W-or-N)`` leaf products under :attr:`mode`."""
+        packed = self.backend == "packed"
+        if self._use_count_mode(plan):
+            if plan.supports_count_reduction:
+                leaf = packed_popcount(products) if packed else count_ones(products)
+                return plan.reduce_counts(leaf)
+            if packed:
+                return plan.masked_counts_packed(products, self.length)
+            return plan.masked_counts_bits(products)
+        if packed:
+            return packed_popcount(plan.reduce_packed(products, self.length))
+        return count_ones(plan.reduce_bits(products))
+
     def dot_from_streams(
         self,
         x_bits: np.ndarray,
@@ -455,11 +550,24 @@ class StochasticDotProductEngine:
 
         This is the path used by the convolution driver, which generates the
         input streams once per image and reuses them for all 32 kernels.
+        Honours :attr:`mode`: the count-domain path never builds the tree's
+        stream tensors, with counter values bit-identical to the stream path.
         """
+        x_arr, _ = as_bits(x_bits)
+        wp_arr, _ = as_bits(w_pos_bits)
+        wn_arr, _ = as_bits(w_neg_bits)
+        taps = x_arr.shape[-2]
+        # Both plans are instantiated through one shared factory before any
+        # reduction runs -- the exact node enumeration (positive tree first)
+        # the historical back-to-back AdderTree.reduce() calls produced, so
+        # stateful factories (per-node MUX select seeds) stay bit-identical.
         factory = self._adder_factory()
-        pos = stochastic_dot_product(x_bits, w_pos_bits, factory)
-        neg = stochastic_dot_product(x_bits, w_neg_bits, factory)
-        return self._dot_result(pos, neg, np.asarray(x_bits).shape[-2])
+        tree = AdderTree(factory)
+        plan_pos = tree.plan(taps)
+        plan_neg = tree.plan(taps)
+        pos = self._plan_counts((x_arr & wp_arr).astype(np.uint8), plan_pos)
+        neg = self._plan_counts((x_arr & wn_arr).astype(np.uint8), plan_neg)
+        return self._dot_result(pos, neg, taps)
 
     def dot_from_packed(
         self,
@@ -472,12 +580,17 @@ class StochasticDotProductEngine:
         All arguments are uint64 word arrays (``(..., k, W)`` inputs, weight
         arrays broadcastable to them) as produced by :meth:`input_words` and
         :meth:`weight_words`; the counter values are bit-identical to the
-        unpacked path.
+        unpacked path (and, per :attr:`mode`, across count/stream modes).
         """
+        x_arr = np.asarray(x_words)
+        taps = x_arr.shape[-2]
         factory = self._adder_factory()
-        pos = stochastic_dot_product_packed(x_words, w_pos_words, self.length, factory)
-        neg = stochastic_dot_product_packed(x_words, w_neg_words, self.length, factory)
-        return self._dot_result(pos, neg, np.asarray(x_words).shape[-2])
+        tree = AdderTree(factory)
+        plan_pos = tree.plan(taps)
+        plan_neg = tree.plan(taps)
+        pos = self._plan_counts(x_arr & np.asarray(w_pos_words), plan_pos)
+        neg = self._plan_counts(x_arr & np.asarray(w_neg_words), plan_neg)
+        return self._dot_result(pos, neg, taps)
 
     def _dot_result(
         self, pos: np.ndarray, neg: np.ndarray, taps: int
@@ -492,7 +605,10 @@ class StochasticDotProductEngine:
 
 
 def new_sc_engine(
-    precision: int, seed: int = 1, backend: Optional[str] = None
+    precision: int,
+    seed: int = 1,
+    backend: Optional[str] = None,
+    mode: Optional[str] = None,
 ) -> StochasticDotProductEngine:
     """The paper's proposed configuration: TFF adder, ramp input, low-discrepancy weights."""
     return StochasticDotProductEngine(
@@ -502,11 +618,15 @@ def new_sc_engine(
         weight_generator="lowdisc",
         seed=seed,
         backend=backend,
+        mode=mode,
     )
 
 
 def old_sc_engine(
-    precision: int, seed: int = 1, backend: Optional[str] = None
+    precision: int,
+    seed: int = 1,
+    backend: Optional[str] = None,
+    mode: Optional[str] = None,
 ) -> StochasticDotProductEngine:
     """The conventional configuration used as the "Old SC" baseline in Table 3.
 
@@ -520,4 +640,5 @@ def old_sc_engine(
         weight_generator="lfsr",
         seed=seed,
         backend=backend,
+        mode=mode,
     )

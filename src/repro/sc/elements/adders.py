@@ -41,6 +41,26 @@ then lane 1's, ...), matching a sequence of independent per-lane reductions,
 and the plan object is reusable across input tiles: select streams are
 generated once and cached, so tiled evaluation is bit-identical to a single
 untiled pass.
+
+Count-domain shortcuts
+----------------------
+Two tree families admit an *exact* count-domain evaluation that never
+materializes a node's output stream (the engines' ``mode="counts"`` path,
+see :mod:`repro.sc.mode`):
+
+* **all-TFF trees** -- every node's output ones-count is exactly
+  ``floor/ceil((ones_x + ones_y) / 2)``, so :meth:`TreePlan.reduce_counts`
+  halves integer leaf counts level by level;
+* **all-MUX trees** -- at each clock cycle the select bits along the tree
+  pick exactly one leaf whose bit the root forwards (or a zero pad), so
+  pushing the cached select streams down the tree yields one disjoint
+  *ownership mask* per leaf (:meth:`TreePlan.leaf_masks`) and the root count
+  is a single masked popcount over the leaf streams
+  (:meth:`TreePlan.masked_counts_bits` / :meth:`TreePlan.masked_counts_packed`).
+
+Both shortcuts are bit-identical to reducing the streams; OR trees are
+position-dependent in a way neither shortcut captures and always reduce
+streams.
 """
 
 from __future__ import annotations
@@ -50,15 +70,20 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ...bitstream.packed import (
+    mask_tail,
     pack_bits,
     packed_mux,
     packed_mux_add,
     packed_or_add,
+    packed_popcount,
     packed_tff_add,
+    words_for,
 )
 from ...rng.sources import NumberSource, PseudoRandomSource
 from .flipflops import toggle_states
 from .util import StreamLike, as_bits, check_same_length, wrap_like
+
+_ALL_WORD = np.uint64(0xFFFFFFFFFFFFFFFF)
 
 __all__ = [
     "StochasticAdder",
@@ -316,6 +341,15 @@ class TreePlan:
         ]
         self._groups = [_level_group(nodes) for nodes in self.levels]
         self._select_cache: dict = {}
+        self._mask_cache: dict = {}
+        # Input width of every level before its odd-width zero pad (leaves
+        # first); the mask derivation needs it to drop pad columns.
+        widths: List[int] = []
+        k = self.count
+        for m in sizes:
+            widths.append(k)
+            k = m
+        self._level_input_widths = widths
 
     @property
     def depth(self) -> int:
@@ -453,6 +487,97 @@ class TreePlan:
             level = total
         out = level[..., 0]
         return out[..., 0] if self.lanes == 1 else out
+
+    @property
+    def supports_masked_reduction(self) -> bool:
+        """True when the root count follows from select-masked leaf streams.
+
+        A plain :class:`MuxAdder` node forwards exactly one of its two input
+        bits per cycle, chosen by its (cached, data-independent) select
+        stream.  Composing those choices from the root down assigns every
+        clock cycle to exactly one leaf -- or to a zero pad column, which
+        contributes nothing -- so the root stream is the OR of
+        ``leaf & mask`` over the disjoint per-leaf ownership masks of
+        :meth:`leaf_masks`, and its ones-count is one masked popcount.  Only
+        trees whose every level is plain MUX nodes qualify; TFF levels have
+        their own exact shortcut (:attr:`supports_count_reduction`) and OR
+        levels have none.
+        """
+        return all(group is not None and group[0] == "mux" for group in self._groups)
+
+    def leaf_masks(self, length: int, packed: bool) -> np.ndarray:
+        """Per-leaf ownership masks of an all-MUX tree: ``(lanes, count, .)``.
+
+        Bit ``t`` of mask ``(lane, i)`` is 1 iff the select bits of lane
+        ``lane``'s tree route leaf ``i``'s bit to the root at cycle ``t``.
+        Masks of one lane are mutually disjoint; cycles routed to a zero pad
+        column belong to no mask.  Cached per ``(length, packed)`` like the
+        select streams themselves, so tiled evaluation reuses one
+        derivation.
+        """
+        if not self.supports_masked_reduction:
+            raise ValueError(
+                "leaf ownership masks exist only for plain MuxAdder trees"
+            )
+        key = (length, packed)
+        cached = self._mask_cache.get(key)
+        if cached is not None:
+            return cached
+        if packed:
+            width = words_for(length)
+            root = mask_tail(
+                np.full((self.lanes, 1, width), _ALL_WORD, dtype=np.uint64), length
+            )
+        else:
+            root = np.ones((self.lanes, 1, length), dtype=np.uint8)
+        masks = root
+        # Walk the tree top-down: a node's mask splits into its two children
+        # by its select stream (y / right child where select is 1), exactly
+        # undoing one _reduce level; odd-width levels drop the trailing pad
+        # column whose cycles are forwarded as hard zeros.
+        for li in range(self.depth - 1, -1, -1):
+            m = self.level_sizes[li]
+            sel = self._selects(li, length, packed).reshape(
+                self.lanes, m, masks.shape[-1]
+            )
+            inv = ~sel if packed else sel ^ 1
+            children = np.empty(
+                (self.lanes, 2 * m, masks.shape[-1]), dtype=masks.dtype
+            )
+            children[:, 0::2] = masks & inv
+            children[:, 1::2] = masks & sel
+            masks = children[:, : self._level_input_widths[li]]
+        self._mask_cache[key] = masks
+        return masks
+
+    def _masked_root(self, leaves: np.ndarray, length: int, packed: bool) -> np.ndarray:
+        """OR of ``leaf & mask`` over the leaf axis: the root stream itself."""
+        arr = self._check_input(leaves, "W" if packed else "N")
+        masks = self.leaf_masks(length, packed)
+        return np.bitwise_or.reduce(arr & masks, axis=-2)
+
+    def masked_counts_bits(self, bits: np.ndarray) -> np.ndarray:
+        """Root ones-counts of an all-MUX tree from unpacked leaf streams.
+
+        ``bits`` has shape ``(..., lanes, k, N)`` (lane axis only when
+        ``lanes > 1``); returns int64 counts ``(..., lanes)`` (scalar lane
+        axis dropped), guaranteed bit-identical to popcounting
+        :meth:`reduce_bits` output -- no tree stream is ever built.
+        """
+        arr = np.asarray(bits)
+        if arr.dtype != np.uint8:
+            arr = arr.astype(np.uint8)
+        counts = self._masked_root(arr, arr.shape[-1], packed=False).sum(
+            axis=-1, dtype=np.int64
+        )
+        return counts[..., 0] if self.lanes == 1 else counts
+
+    def masked_counts_packed(self, words: np.ndarray, n_bits: int) -> np.ndarray:
+        """Packed-word counterpart of :meth:`masked_counts_bits`."""
+        counts = packed_popcount(
+            self._masked_root(np.asarray(words), n_bits, packed=True)
+        )
+        return counts[..., 0] if self.lanes == 1 else counts
 
     def reduce_bits(self, bits: np.ndarray) -> np.ndarray:
         """Reduce unpacked bit arrays ``(..., lanes, k, N)`` (lane axis only

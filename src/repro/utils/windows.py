@@ -89,7 +89,13 @@ def extract_patches(
 def patches_to_map(
     patch_values: np.ndarray, out_shape: Tuple[int, int]
 ) -> np.ndarray:
-    """Reshape per-patch results ``(batch, P, F)`` back to ``(batch, F, out_h, out_w)``."""
+    """Reshape per-patch results ``(batch, P, F)`` back to ``(batch, F, out_h, out_w)``.
+
+    This is a pure reshape/transpose: the dtype of ``patch_values`` is
+    preserved exactly, so integer counter values pass through without any
+    float round trip (callers must not reintroduce one -- float64 cannot
+    represent every int64 above ``2**53``).
+    """
     out_h, out_w = out_shape
     batch, patches, filters = patch_values.shape
     if patches != out_h * out_w:

@@ -1,0 +1,444 @@
+"""Differential + property tests for the count-domain engine mode.
+
+``mode="counts"`` must be *bit-identical* to the reference stream reduction
+for every configuration that supports it: unipolar split-weight engines with
+TFF or MUX adder trees (any generator, backend, tap count, tiling) and the
+bipolar XNOR engine (including its odd-tap alternating-stream padding).
+These tests pin that contract, the mode-resolution precedence rules, the
+``TreePlan`` mask machinery behind the MUX shortcut, and the stream-path
+edge-case fixes that rode along (empty batches, dtype-preserving count maps,
+the sign-tie contract, bipolar input-range validation).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sc import (
+    BipolarDotProductEngine,
+    BipolarDotProductResult,
+    MODES,
+    StochasticConv2D,
+    StochasticDotProductEngine,
+    TffAdder,
+    MuxAdder,
+    new_sc_engine,
+    old_sc_engine,
+    resolve_mode,
+    validate_mode,
+)
+from repro.sc.elements.adders import TreePlan
+from repro.bitstream.packed import pack_bits, packed_popcount
+from repro.utils.windows import patches_to_map
+
+
+# --------------------------------------------------------------------- #
+# mode resolution
+# --------------------------------------------------------------------- #
+
+
+def test_validate_mode_accepts_known_rejects_unknown():
+    for mode in MODES:
+        assert validate_mode(mode) == mode
+    with pytest.raises(ValueError, match="unknown mode"):
+        validate_mode("bitwise")
+    with pytest.raises(ValueError, match="unknown mode"):
+        validate_mode("")
+
+
+def test_resolve_mode_precedence(monkeypatch):
+    monkeypatch.delenv("REPRO_MODE", raising=False)
+    assert resolve_mode(None) == "auto"
+    monkeypatch.setenv("REPRO_MODE", "streams")
+    assert resolve_mode(None) == "streams"
+    # An explicit argument beats the environment.
+    assert resolve_mode("counts") == "counts"
+    # An empty environment value falls back to the default.
+    monkeypatch.setenv("REPRO_MODE", "")
+    assert resolve_mode(None) == "auto"
+    monkeypatch.setenv("REPRO_MODE", "bogus")
+    with pytest.raises(ValueError, match="unknown mode"):
+        resolve_mode(None)
+
+
+def test_engine_honours_repro_mode_env(monkeypatch):
+    monkeypatch.setenv("REPRO_MODE", "streams")
+    assert StochasticDotProductEngine(precision=4).mode == "streams"
+    assert BipolarDotProductEngine(precision=4).mode == "streams"
+    monkeypatch.delenv("REPRO_MODE", raising=False)
+    assert StochasticDotProductEngine(precision=4).mode == "auto"
+
+
+def test_counts_mode_with_or_tree_raises():
+    with pytest.raises(ValueError, match="counts"):
+        StochasticDotProductEngine(precision=4, adder="or", mode="counts")
+    # "auto" quietly falls back to streams for OR trees.
+    engine = StochasticDotProductEngine(precision=4, adder="or", mode="auto")
+    rng = np.random.default_rng(0)
+    result = engine.dot(rng.random((3, 5)), rng.uniform(-1, 1, 5))
+    assert result.positive_count.shape == (3,)
+
+
+def test_engine_rejects_unknown_mode():
+    with pytest.raises(ValueError, match="unknown mode"):
+        StochasticDotProductEngine(precision=4, mode="fast")
+    with pytest.raises(ValueError, match="unknown mode"):
+        BipolarDotProductEngine(precision=4, mode="fast")
+
+
+# --------------------------------------------------------------------- #
+# unipolar split-weight engine: counts == streams, bit for bit
+# --------------------------------------------------------------------- #
+
+UNIPOLAR_GENERATORS = [
+    ("ramp", "lowdisc"),
+    ("lfsr", "lfsr"),
+    ("lowdisc", "lowdisc"),
+]
+
+
+@pytest.mark.parametrize("adder", ["tff", "mux"])
+@pytest.mark.parametrize("backend", ["packed", "unpacked"])
+@pytest.mark.parametrize("input_gen,weight_gen", UNIPOLAR_GENERATORS)
+@pytest.mark.parametrize("taps", [1, 2, 3, 7, 25])
+def test_unipolar_counts_bit_identical(adder, backend, input_gen, weight_gen, taps):
+    rng = np.random.default_rng(taps)
+    x = rng.random((5, taps))
+    w = rng.uniform(-1.0, 1.0, taps)
+    kwargs = dict(
+        precision=6,
+        adder=adder,
+        input_generator=input_gen,
+        weight_generator=weight_gen,
+        seed=11,
+        backend=backend,
+    )
+    counted = StochasticDotProductEngine(mode="counts", **kwargs).dot(x, w)
+    streamed = StochasticDotProductEngine(mode="streams", **kwargs).dot(x, w)
+    np.testing.assert_array_equal(counted.positive_count, streamed.positive_count)
+    np.testing.assert_array_equal(counted.negative_count, streamed.negative_count)
+
+
+@pytest.mark.parametrize("adder", ["tff", "mux"])
+@pytest.mark.parametrize("backend", ["packed", "unpacked"])
+def test_unipolar_filter_parallel_counts_bit_identical(adder, backend):
+    rng = np.random.default_rng(3)
+    x = rng.random((9, 25))
+    kernels = rng.uniform(-1.0, 1.0, (6, 25))
+    kwargs = dict(precision=6, adder=adder, seed=5, backend=backend)
+    counted = StochasticDotProductEngine(mode="counts", **kwargs).dot_filters(x, kernels)
+    streamed = StochasticDotProductEngine(mode="streams", **kwargs).dot_filters(
+        x, kernels
+    )
+    np.testing.assert_array_equal(counted.positive_count, streamed.positive_count)
+    np.testing.assert_array_equal(counted.negative_count, streamed.negative_count)
+
+
+@pytest.mark.parametrize("factory", [new_sc_engine, old_sc_engine])
+def test_paper_engines_accept_mode(factory):
+    rng = np.random.default_rng(2)
+    x = rng.random((4, 9))
+    w = rng.uniform(-1.0, 1.0, 9)
+    counted = factory(6, seed=1, mode="counts").dot(x, w)
+    streamed = factory(6, seed=1, mode="streams").dot(x, w)
+    np.testing.assert_array_equal(counted.positive_count, streamed.positive_count)
+    np.testing.assert_array_equal(counted.negative_count, streamed.negative_count)
+
+
+def test_mux_select_periodicity_across_repeated_calls():
+    """Free-running MUX selects keep advancing across dot() calls in both modes.
+
+    The engine deliberately lets every node's select source continue across
+    sequential evaluations; the count path must consume *exactly* the same
+    select windows as the stream path or the second call diverges.
+    """
+    rng = np.random.default_rng(8)
+    x1, x2 = rng.random((4, 10)), rng.random((4, 10))
+    w = rng.uniform(-1.0, 1.0, 10)
+    engines = {
+        mode: StochasticDotProductEngine(
+            precision=5, adder="mux", seed=21, backend="packed", mode=mode
+        )
+        for mode in ("counts", "streams")
+    }
+    for x in (x1, x2, x1):
+        counted = engines["counts"].dot(x, w)
+        streamed = engines["streams"].dot(x, w)
+        np.testing.assert_array_equal(counted.positive_count, streamed.positive_count)
+        np.testing.assert_array_equal(counted.negative_count, streamed.negative_count)
+
+
+@pytest.mark.parametrize("adder", ["tff", "mux"])
+@pytest.mark.parametrize("tile_patches", [None, 1, 7, 64])
+def test_conv_counts_mode_tiling_bit_identical(adder, tile_patches):
+    rng = np.random.default_rng(1)
+    images = rng.random((2, 8, 8))
+    kernels = rng.uniform(-1.0, 1.0, (4, 3, 3))
+    results = {}
+    for mode in ("counts", "streams"):
+        layer = StochasticConv2D(
+            kernels,
+            engine=StochasticDotProductEngine(
+                precision=5, adder=adder, seed=4, backend="packed", mode=mode
+            ),
+            padding=1,
+            tile_patches=tile_patches,
+        )
+        results[mode] = layer.forward(images)
+    np.testing.assert_array_equal(
+        results["counts"].positive_count, results["streams"].positive_count
+    )
+    np.testing.assert_array_equal(
+        results["counts"].negative_count, results["streams"].negative_count
+    )
+    np.testing.assert_array_equal(results["counts"].sign, results["streams"].sign)
+
+
+# --------------------------------------------------------------------- #
+# bipolar XNOR engine: counts == streams, including padding
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("adder", ["tff", "mux"])
+@pytest.mark.parametrize("backend", ["packed", "unpacked"])
+@pytest.mark.parametrize("taps", [1, 2, 3, 5, 9, 25, 32])
+def test_bipolar_counts_bit_identical(adder, backend, taps):
+    """Covers power-of-two, odd and single tap counts (padding edge cases)."""
+    rng = np.random.default_rng(taps + 100)
+    x = rng.uniform(-1.0, 1.0, (6, taps))
+    w = rng.uniform(-1.0, 1.0, taps)
+    kwargs = dict(precision=6, adder=adder, seed=9, backend=backend)
+    counted = BipolarDotProductEngine(mode="counts", **kwargs).dot(x, w)
+    streamed = BipolarDotProductEngine(mode="streams", **kwargs).dot(x, w)
+    np.testing.assert_array_equal(counted.count, streamed.count)
+    np.testing.assert_array_equal(counted.sign, streamed.sign)
+    np.testing.assert_array_equal(counted.value, streamed.value)
+    assert counted.tree_scale == streamed.tree_scale
+
+
+def test_bipolar_auto_mode_matches_explicit_counts():
+    rng = np.random.default_rng(0)
+    x = rng.uniform(-1.0, 1.0, (4, 7))
+    w = rng.uniform(-1.0, 1.0, 7)
+    auto = BipolarDotProductEngine(precision=6, seed=2, mode="auto").dot(x, w)
+    counts = BipolarDotProductEngine(precision=6, seed=2, mode="counts").dot(x, w)
+    np.testing.assert_array_equal(auto.count, counts.count)
+
+
+# --------------------------------------------------------------------- #
+# property-based sweep
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    taps=st.integers(min_value=1, max_value=12),
+    precision=st.integers(min_value=3, max_value=7),
+    adder=st.sampled_from(["tff", "mux"]),
+    backend=st.sampled_from(["packed", "unpacked"]),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_unipolar_counts_property(taps, precision, adder, backend, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.random((3, taps))
+    w = rng.uniform(-1.0, 1.0, taps)
+    kwargs = dict(precision=precision, adder=adder, seed=seed, backend=backend)
+    counted = StochasticDotProductEngine(mode="counts", **kwargs).dot(x, w)
+    streamed = StochasticDotProductEngine(mode="streams", **kwargs).dot(x, w)
+    np.testing.assert_array_equal(counted.positive_count, streamed.positive_count)
+    np.testing.assert_array_equal(counted.negative_count, streamed.negative_count)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    taps=st.integers(min_value=1, max_value=12),
+    precision=st.integers(min_value=3, max_value=7),
+    adder=st.sampled_from(["tff", "mux"]),
+    backend=st.sampled_from(["packed", "unpacked"]),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_bipolar_counts_property(taps, precision, adder, backend, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1.0, 1.0, (3, taps))
+    w = rng.uniform(-1.0, 1.0, taps)
+    kwargs = dict(precision=precision, adder=adder, seed=seed, backend=backend)
+    counted = BipolarDotProductEngine(mode="counts", **kwargs).dot(x, w)
+    streamed = BipolarDotProductEngine(mode="streams", **kwargs).dot(x, w)
+    np.testing.assert_array_equal(counted.count, streamed.count)
+
+
+# --------------------------------------------------------------------- #
+# TreePlan mask machinery (the MUX count-domain core)
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("count", [1, 2, 3, 5, 7, 8, 25])
+@pytest.mark.parametrize("lanes", [1, 3])
+def test_leaf_masks_are_disjoint_and_exact(count, lanes):
+    length = 96  # not a multiple of 64: exercises the packed tail word
+    plan = TreePlan(lambda: MuxAdder(toggle_select=True), count, lanes=lanes)
+    rng = np.random.default_rng(count * 10 + lanes)
+    bits = rng.integers(0, 2, size=(lanes, count, length)).astype(np.uint8)
+    if lanes == 1:
+        bits = bits[0]
+
+    # Reference: an identically-seeded plan reducing actual streams.
+    ref_plan = TreePlan(lambda: MuxAdder(toggle_select=True), count, lanes=lanes)
+    expected = np.asarray(ref_plan.reduce_bits(bits)).sum(axis=-1, dtype=np.int64)
+    np.testing.assert_array_equal(plan.masked_counts_bits(bits), expected)
+
+    # Each cycle is owned by at most one leaf (pads absorb the rest).
+    masks = plan.leaf_masks(length, packed=False)
+    assert np.all(masks.sum(axis=-2) <= 1)
+
+    # Packed masks agree with the unpacked ones bit for bit.
+    packed_masks = plan.leaf_masks(length, packed=True)
+    np.testing.assert_array_equal(pack_bits(masks), packed_masks)
+    packed_counts = plan.masked_counts_packed(pack_bits(bits), length)
+    np.testing.assert_array_equal(packed_counts, expected)
+
+
+def test_leaf_masks_cached_per_length():
+    plan = TreePlan(lambda: MuxAdder(toggle_select=True), 5)
+    first = plan.leaf_masks(64, packed=True)
+    assert plan.leaf_masks(64, packed=True) is first
+    assert plan.leaf_masks(128, packed=True) is not first
+
+
+def test_tff_plan_reports_count_reduction_mux_reports_masked():
+    tff_plan = TreePlan(TffAdder, 8)
+    assert tff_plan.supports_count_reduction
+    assert not tff_plan.supports_masked_reduction
+    mux_plan = TreePlan(lambda: MuxAdder(toggle_select=True), 8)
+    assert not mux_plan.supports_count_reduction
+    assert mux_plan.supports_masked_reduction
+
+
+# --------------------------------------------------------------------- #
+# satellite regressions: stream-path edge cases
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("tile_patches", [None, 16])
+def test_conv_empty_batch_returns_empty_result(tile_patches):
+    kernels = np.random.default_rng(0).uniform(-1.0, 1.0, (4, 3, 3))
+    layer = StochasticConv2D(
+        kernels,
+        engine=new_sc_engine(5, seed=1),
+        padding=1,
+        tile_patches=tile_patches,
+    )
+    result = layer.forward(np.zeros((0, 8, 8)))
+    assert result.sign.shape == (0, 4, 8, 8)
+    assert result.positive_count.shape == (0, 4, 8, 8)
+    assert result.negative_count.shape == (0, 4, 8, 8)
+    assert result.value.shape == (0, 4, 8, 8)
+    assert result.sign.dtype == np.int8
+    assert result.positive_count.dtype == np.int64
+    # Bad geometry still raises even for an empty batch.
+    with pytest.raises(ValueError):
+        layer.forward(np.zeros((0, 0, 0)))
+
+
+def test_conv_still_rejects_out_of_range_pixels():
+    kernels = np.full((1, 3, 3), 0.5)
+    layer = StochasticConv2D(kernels, engine=new_sc_engine(4), padding=1)
+    with pytest.raises(ValueError, match=r"\[0, 1\]"):
+        layer.forward(np.full((1, 8, 8), 1.5))
+
+
+def test_conv_counts_stay_integer_dtype():
+    rng = np.random.default_rng(5)
+    layer = StochasticConv2D(
+        rng.uniform(-1.0, 1.0, (2, 3, 3)), engine=new_sc_engine(5, seed=1), padding=1
+    )
+    result = layer.forward(rng.random((1, 6, 6)))
+    assert result.positive_count.dtype == np.int64
+    assert result.negative_count.dtype == np.int64
+    assert result.sign.dtype == np.int8
+    assert result.value.dtype == np.float64
+
+
+def test_patches_to_map_preserves_dtype_exactly():
+    # A counter value float64 cannot represent: 2**53 + 1 survives the map.
+    big = np.int64(2**53 + 1)
+    patch_values = np.full((1, 4, 2), big, dtype=np.int64)
+    mapped = patches_to_map(patch_values, (2, 2))
+    assert mapped.dtype == np.int64
+    assert np.all(mapped == big)
+    assert np.int64(float(big)) != big  # the old float64 round trip was lossy
+    for dtype in (np.int8, np.int32, np.uint8, np.float32):
+        assert patches_to_map(np.zeros((1, 4, 3), dtype=dtype), (2, 2)).dtype == dtype
+
+
+def test_bipolar_sign_tie_resolves_to_plus_one():
+    length = 16
+    tie = BipolarDotProductResult(
+        count=np.array([length // 2]), length=length, tree_scale=1
+    )
+    assert tie.sign[0] == 1  # comparator's "not below mid-scale" side
+    below = BipolarDotProductResult(
+        count=np.array([length // 2 - 1]), length=length, tree_scale=1
+    )
+    assert below.sign[0] == -1
+
+
+def test_unipolar_conv_sign_tie_resolves_to_zero():
+    # An all-zero kernel produces identical (zero) positive and negative
+    # counters at every output: the three-valued sign activation emits 0.
+    layer = StochasticConv2D(
+        np.zeros((1, 3, 3)), engine=new_sc_engine(4, seed=1), padding=1
+    )
+    result = layer.forward(np.random.default_rng(0).random((1, 5, 5)))
+    np.testing.assert_array_equal(result.positive_count, result.negative_count)
+    assert np.all(result.sign == 0)
+
+
+@pytest.mark.parametrize("backend", ["packed", "unpacked"])
+def test_bipolar_rejects_out_of_range_inputs(backend):
+    engine = BipolarDotProductEngine(precision=4, backend=backend)
+    w = np.full(4, 0.5)
+    with pytest.raises(ValueError, match=r"\[-1, 1\]"):
+        engine.dot(np.array([[0.0, 0.5, 1.5, -0.5]]), w)
+    with pytest.raises(ValueError, match=r"\[-1, 1\]"):
+        engine.dot(np.array([[0.0, 0.5, -1.5, -0.5]]), w)
+    # Exact boundary values stay legal.
+    result = engine.dot(np.array([[1.0, -1.0, 0.0, 1.0]]), w)
+    assert result.count.shape == (1,)
+
+
+# --------------------------------------------------------------------- #
+# table evaluators honour the mode
+# --------------------------------------------------------------------- #
+
+
+def test_table2_counts_mode_bit_identical():
+    from repro.eval.table2 import ADDER_CONFIGS, adder_mse
+
+    for config in ADDER_CONFIGS:
+        for backend in ("packed", "unpacked"):
+            assert adder_mse(config, 4, backend=backend, mode="counts") == adder_mse(
+                config, 4, backend=backend, mode="streams"
+            )
+
+
+def test_table1_accepts_mode():
+    from repro.eval.table1 import multiplier_mse
+
+    assert multiplier_mse("low_discrepancy", 4, mode="counts") == multiplier_mse(
+        "low_discrepancy", 4, mode="streams"
+    )
+    with pytest.raises(ValueError, match="unknown mode"):
+        multiplier_mse("low_discrepancy", 4, mode="bogus")
+
+
+def test_accuracy_config_resolves_mode(monkeypatch):
+    from repro.eval.table3_accuracy import AccuracyConfig
+
+    monkeypatch.delenv("REPRO_MODE", raising=False)
+    assert AccuracyConfig().mode == "auto"
+    assert AccuracyConfig(mode="streams").mode == "streams"
+    monkeypatch.setenv("REPRO_MODE", "counts")
+    assert AccuracyConfig().mode == "counts"
+    with pytest.raises(ValueError, match="unknown mode"):
+        AccuracyConfig(mode="bogus")
