@@ -15,10 +15,10 @@ Run with:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import Bitstream, MuxAdder, TffAdder, new_sc_engine
+from repro import Bitstream, MuxAdder, new_sc_engine
 from repro.eval import multiplier_mse
 from repro.rng import ComparatorSNG, SobolSource, VanDerCorputSource, ramp_compare_stream
-from repro.sc import and_multiply, stochastic_to_binary, tff_add
+from repro.sc import and_multiply, tff_add
 
 
 def section(title: str) -> None:

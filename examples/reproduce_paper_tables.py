@@ -16,7 +16,6 @@ scale it up further.
 """
 
 import argparse
-import sys
 import time
 
 from repro.eval import (

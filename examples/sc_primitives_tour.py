@@ -3,9 +3,10 @@
 
 Goes one level deeper than the quickstart: correlation metrics, the effect of
 auto-correlated (sensor-style) streams on different adders, the packed-word
-simulation backend, the exhaustive Table 1 / Table 2 sweeps, and the
+simulation backend, the exhaustive Table 1 / Table 2 sweeps, the
 gate-level netlists behind the hardware numbers (cell counts, area, simulated
-switching activity).
+switching activity), and the static analyzer that proves those netlists
+well-formed (``repro.netlist.lint`` / ``python -m repro lint``).
 
 Run with:  python examples/sc_primitives_tour.py
 """
@@ -17,12 +18,14 @@ import numpy as np
 from repro.bitstream import Bitstream, autocorrelation, stochastic_cross_correlation
 from repro.eval import format_table1, format_table2, run_table1, run_table2
 from repro.netlist import (
+    LintError,
     build_binary_mac,
     build_sc_dot_product,
     build_sng,
     build_tff_adder,
     estimate_area_mm2,
     estimate_power,
+    lint,
     simulate,
     simulate_batch,
 )
@@ -60,7 +63,7 @@ def main() -> None:
     y = Bitstream(ramp_compare_stream(0.2, 128))
     tff = TffAdder()(x, y)
     mux = MuxAdder(seed=3)(x, y)
-    print(f"expected (0.7 + 0.2)/2 = 0.450")
+    print("expected (0.7 + 0.2)/2 = 0.450")
     print(f"TFF adder on ramp streams: {stochastic_to_binary(tff):.4f}")
     print(f"MUX adder on ramp streams: {stochastic_to_binary(mux):.4f}")
 
@@ -233,6 +236,28 @@ def main() -> None:
     print(f"  activity {batched.average_activity():.3f} "
           f"(per-trace spread {spread.min():.3f} .. {spread.max():.3f}), "
           f"trace-driven power {report.total_mw * 1e3:.0f} uW")
+
+    section("Static analysis: proving netlists well-formed without simulating")
+    clean = lint(engine)
+    print(f"engine lint report: {clean.format().splitlines()[0]}")
+    print(f"  critical path: {clean.stats.critical_path_length} combinational "
+          f"levels, max fanout {clean.stats.max_fanout}")
+    # Deliberately corrupt a copy of the engine: rewire one adder input to a
+    # net that does not exist, and export an output nobody drives.
+    broken = build_sc_dot_product(9, 8)
+    victim = broken.instances[len(broken.instances) // 2]
+    victim.inputs = (victim.inputs[0], "severed_net") + victim.inputs[2:]
+    broken.add_output("phantom_out")
+    report = lint(broken)
+    print("after cutting one wire and exporting a phantom output:")
+    for finding in report.errors[:2]:
+        print(f"  {finding.format()}".replace("\n", "\n  "))
+    # strict=True runs the error-severity rules as an elaboration step, so
+    # the corruption is refused up front instead of producing wrong waveforms.
+    try:
+        simulate(broken, {}, strict=True)
+    except LintError as exc:
+        print(f"simulate(strict=True) refused: {str(exc)[:72]}...")
 
 
 if __name__ == "__main__":

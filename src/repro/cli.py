@@ -8,7 +8,16 @@ Usage (after ``pip install -e .``):
     python -m repro hardware --raw         # same, without the 8-bit anchoring
     python -m repro accuracy --quick       # misclassification rates (Table 3 top)
     python -m repro activity               # simulated switching activity + power
+    python -m repro lint                   # static analysis of builder netlists
     python -m repro claims                 # headline-claim summary
+
+``lint`` runs the rule-based static analyzer (:mod:`repro.netlist.lint`)
+over every builder circuit in
+:data:`repro.netlist.circuits.BUILDER_CATALOG` (or a ``--circuit``
+selection) and exits non-zero when findings at or above ``--fail-on``
+(default ``error``) are present -- the CI gate that keeps the Table 3
+netlists structurally sound.  ``--verbose`` adds info-level findings plus
+the fanout histogram and critical-path statistics.
 
 The accuracy experiment honours the same environment variables as the
 benchmark suite (REPRO_TRAIN_SIZE, REPRO_TEST_SIZE, REPRO_BITEXACT,
@@ -160,6 +169,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_backend(activity)
 
+    lint_cmd = sub.add_parser(
+        "lint",
+        help="static analysis of the gate-level builder netlists",
+    )
+    lint_cmd.add_argument(
+        "--circuit", action="append", default=None, metavar="NAME",
+        help="lint only this builder circuit (repeatable; default: all; "
+             "see `repro lint --list` for names)",
+    )
+    lint_cmd.add_argument(
+        "--list", action="store_true",
+        help="list the available builder circuits and exit",
+    )
+    lint_cmd.add_argument(
+        "--fail-on", choices=("error", "warning", "info", "never"),
+        default="error",
+        help="exit non-zero when findings at or above this severity are "
+             "present (default: error)",
+    )
+    lint_cmd.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="also print info-level findings, the fanout histogram and the "
+             "critical path",
+    )
+
     claims = sub.add_parser("claims", help="headline-claim summary (hardware only)")
     claims.add_argument("--raw", action="store_true")
     return parser
@@ -203,7 +237,7 @@ def _run_activity(args: argparse.Namespace) -> None:
             net: rng.integers(0, 2, cycles, dtype=np.int64).astype(np.uint8)
             for net in netlist.primary_inputs
         }
-        result = simulate(netlist, stimulus, backend=backend)
+        result = simulate(netlist, stimulus, backend=backend, strict=True)
         trace_note = ""
     else:
         stimulus = {
@@ -212,7 +246,7 @@ def _run_activity(args: argparse.Namespace) -> None:
             ).astype(np.uint8)
             for net in netlist.primary_inputs
         }
-        result = simulate_batch(netlist, stimulus, backend=backend)
+        result = simulate_batch(netlist, stimulus, backend=backend, strict=True)
         trace_note = f" x {args.traces} traces (batched)"
     report = estimate_power(
         netlist, DEFAULT_TECH.sc_clock_mhz, simulation=result
@@ -224,11 +258,51 @@ def _run_activity(args: argparse.Namespace) -> None:
     if args.traces > 1:
         per_trace = result.average_activity_per_trace()
         print(f"activity spread:    {per_trace.min():.4f} .. {per_trace.max():.4f} "
-              f"across traces")
+              "across traces")
     print(f"dynamic power:      {report.dynamic_mw * 1e3:.2f} uW at "
           f"{report.frequency_mhz:.0f} MHz")
     print(f"leakage power:      {report.leakage_mw * 1e3:.2f} uW")
     print(f"total power:        {report.total_mw * 1e3:.2f} uW")
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    """Lint the builder netlists; return the process exit code."""
+    from .netlist import BUILDER_CATALOG, lint
+
+    if args.list:
+        for name in sorted(BUILDER_CATALOG):
+            print(name)
+        return 0
+
+    names = sorted(BUILDER_CATALOG) if args.circuit is None else args.circuit
+    unknown = [name for name in names if name not in BUILDER_CATALOG]
+    if unknown:
+        raise SystemExit(
+            f"repro: error: unknown circuit(s) {unknown}; "
+            f"available: {sorted(BUILDER_CATALOG)}"
+        )
+
+    severity_rank = {"error": 0, "warning": 1, "info": 2}
+    fail_rank = severity_rank.get(args.fail_on)  # None for "never"
+    failed = False
+    totals = {"error": 0, "warning": 0, "info": 0}
+    for name in names:
+        report = lint(BUILDER_CATALOG[name]())
+        print(report.format(verbose=args.verbose))
+        for severity, count in report.counts().items():
+            totals[severity] += count
+        if fail_rank is not None and any(
+            severity_rank[f.severity] <= fail_rank for f in report.findings
+        ):
+            failed = True
+    print(
+        f"linted {len(names)} netlist(s): {totals['error']} error(s), "
+        f"{totals['warning']} warning(s), {totals['info']} info"
+    )
+    if failed:
+        print(f"repro lint: findings at or above --fail-on={args.fail_on}")
+        return 1
+    return 0
 
 
 def _accuracy_config(args: argparse.Namespace) -> AccuracyConfig:
@@ -302,6 +376,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(format_table3_accuracy(result))
     elif args.command == "activity":
         _run_activity(args)
+    elif args.command == "lint":
+        return _run_lint(args)
     elif args.command == "claims":
         hardware = run_table3_hardware(calibrate=not args.raw)
         print(format_headline_claims(summarize(hardware)))

@@ -13,6 +13,14 @@ measurement is taken *per precision column*: every requested precision gets
 its own batched simulation at its own stream length (``2**precision``
 cycles), and each row's power model is driven by the activity measured at
 that precision, rather than one highest-precision number shared by all rows.
+
+The netlists costed here are gated by the static analyzer: the area/power
+roll-ups (:mod:`repro.netlist.power`) emit an
+:class:`~repro.netlist.lint.UnobservableAreaWarning` whenever a costed
+netlist contains cells that no primary output can observe, since such cells
+would silently inflate every number in this table.  The builder circuits
+behind the comparison are kept lint-clean (``python -m repro lint``), so a
+warning surfacing through this module indicates a construction bug upstream.
 """
 
 from __future__ import annotations

@@ -275,6 +275,7 @@ class CalibratedSCEmulator:
             netlist,
             stimulus,
             backend=backend if backend is not None else self.engine.backend,
+            strict=True,
         )
 
     # ------------------------------------------------------------------ #

@@ -1,7 +1,18 @@
-"""Gate-level netlist substrate: cells, netlists, simulation, power and area."""
+"""Gate-level netlist substrate: cells, netlists, simulation, analysis, power.
+
+Besides construction (:class:`Netlist`, the circuit builders) and execution
+(:func:`simulate` / :func:`simulate_batch`), the package carries a static
+analyzer (:mod:`repro.netlist.lint`): a rule registry over the netlist IR
+that proves structural properties -- drivers, observability cones,
+combinational cycles as SCC member lists, constant-propagated dead logic,
+naming collisions -- without simulating.  ``python -m repro lint`` gates
+every builder circuit on it in CI, and ``simulate(..., strict=True)`` runs
+the error-severity rules as an elaboration step before execution.
+"""
 
 from .cells import CELL_LIBRARY, Cell, cell, nand2_equivalents
 from .circuits import (
+    BUILDER_CATALOG,
     build_adder_tree,
     build_and_multiplier,
     build_array_multiplier,
@@ -14,6 +25,19 @@ from .circuits import (
     build_sc_dot_product,
     build_sng,
     build_tff_adder,
+)
+from .lint import (
+    LINT_RULES,
+    LintError,
+    LintFinding,
+    LintReport,
+    LintRule,
+    NetlistStats,
+    UnobservableAreaWarning,
+    enforce,
+    lint,
+    register_rule,
+    unobservable_instances,
 )
 from .netlist import Instance, Netlist
 from .power import (
@@ -44,6 +68,17 @@ __all__ = [
     "estimate_power",
     "estimate_area_mm2",
     "energy_per_frame_nj",
+    "LINT_RULES",
+    "LintError",
+    "LintFinding",
+    "LintReport",
+    "LintRule",
+    "NetlistStats",
+    "UnobservableAreaWarning",
+    "enforce",
+    "lint",
+    "register_rule",
+    "unobservable_instances",
     "build_and_multiplier",
     "build_mux_adder",
     "build_tff_adder",
@@ -56,4 +91,5 @@ __all__ = [
     "build_ripple_adder",
     "build_array_multiplier",
     "build_binary_mac",
+    "BUILDER_CATALOG",
 ]

@@ -24,12 +24,16 @@ the circuits evaluated in Section VI:
 
 All builders return self-contained netlists that can be simulated with
 :func:`repro.netlist.simulator.simulate` (functional correctness is checked
-in the test suite) and costed with :mod:`repro.netlist.power`.
+in the test suite) and costed with :mod:`repro.netlist.power`.  Every
+builder must also pass the static analyzer with zero errors
+(:mod:`repro.netlist.lint`): the differential test suite asserts it, and
+``python -m repro lint`` gates it in CI over the representative
+parameterizations of :data:`BUILDER_CATALOG`.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Callable, Dict, List, Sequence
 
 from .netlist import Netlist
 
@@ -46,6 +50,7 @@ __all__ = [
     "build_ripple_adder",
     "build_array_multiplier",
     "build_binary_mac",
+    "BUILDER_CATALOG",
 ]
 
 
@@ -386,7 +391,10 @@ def build_binary_mac(bits: int, accumulator_bits: int) -> Netlist:
     """A binary multiply-accumulate unit (the core of the sliding-window engine).
 
     ``bits x bits`` multiplier followed by an ``accumulator_bits``-wide adder
-    and an accumulator register.  Inputs ``a*`` / ``b*``; outputs ``acc*``.
+    and an accumulator register.  Inputs ``a*`` / ``b*``; outputs ``acc*``
+    plus the adder's carry out on ``overflow`` (exported so the top-level
+    carry is observable -- a dropped carry is exactly the kind of silent
+    wiring loss the lint pass flags as a dangling net).
     """
     if accumulator_bits < 2 * bits:
         raise ValueError("accumulator must be at least as wide as the product")
@@ -394,10 +402,8 @@ def build_binary_mac(bits: int, accumulator_bits: int) -> Netlist:
 
     multiplier = build_array_multiplier(bits)
     mul_map = net.merge(multiplier, prefix="mul")
+    # The multiplier's operands are exposed as the mul_a*/mul_b* inputs.
     product = [mul_map[f"p{i}"] for i in range(2 * bits)]
-    a = [mul_map[f"a{i}"] for i in range(bits)]
-    b = [mul_map[f"b{i}"] for i in range(bits)]
-    del a, b  # inputs are exposed as mul_a*/mul_b*; kept for readability
 
     # Accumulator register.
     acc = [f"acc{i}" for i in range(accumulator_bits)]
@@ -411,7 +417,45 @@ def build_binary_mac(bits: int, accumulator_bits: int) -> Netlist:
             "FA", [acc[i], addend, carry], outputs=[f"sum{i}", f"carry{i}"]
         )
         next_acc.append(s)
+    (overflow,) = net.add_cell("BUF", [carry], outputs=["overflow"])
+    net.add_output(overflow)
     for i in range(accumulator_bits):
         net.add_cell("DFF", [next_acc[i]], outputs=[acc[i]])
         net.add_output(acc[i])
     return net
+
+
+def _build_catalog_lfsr() -> Netlist:
+    from ..rng.lfsr import MAXIMAL_TAPS
+
+    return build_lfsr(8, MAXIMAL_TAPS[8])
+
+
+def _build_catalog_sng() -> Netlist:
+    from ..rng.lfsr import MAXIMAL_TAPS
+
+    return build_sng(8, MAXIMAL_TAPS[8])
+
+
+#: Representative parameterization of every public builder: one entry per
+#: builder, at (or near) the geometry the Table 3 hardware models use, so
+#: the ``python -m repro lint`` CI gate and the lint-clean differential
+#: tests exercise the same netlists the paper's numbers are derived from.
+#: (The LFSR-based entries defer their tap-table import so this module does
+#: not depend on :mod:`repro.rng` at import time.)
+BUILDER_CATALOG: Dict[str, Callable[[], Netlist]] = {
+    "and_multiplier": build_and_multiplier,
+    "mux_adder": build_mux_adder,
+    "tff_adder": build_tff_adder,
+    "adder_tree_tff": lambda: build_adder_tree(25, adder="tff"),
+    "adder_tree_mux": lambda: build_adder_tree(25, adder="mux"),
+    "counter": lambda: build_counter(9),
+    "comparator": lambda: build_comparator(9),
+    "lfsr": _build_catalog_lfsr,
+    "sng": _build_catalog_sng,
+    "sc_dot_product_tff": lambda: build_sc_dot_product(25, 9, adder="tff"),
+    "sc_dot_product_mux": lambda: build_sc_dot_product(25, 9, adder="mux"),
+    "ripple_adder": lambda: build_ripple_adder(8),
+    "array_multiplier": lambda: build_array_multiplier(8),
+    "binary_mac": lambda: build_binary_mac(8, 21),
+}

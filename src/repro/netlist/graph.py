@@ -1,0 +1,97 @@
+"""Graph algorithms shared by the netlist simulator and the static analyzer.
+
+The cycle simulator and :mod:`repro.netlist.lint` both need strongly
+connected components over instance dependency graphs: the packed simulator
+uses them to isolate register feedback cores (LFSR loops, accumulator
+feedback), the lint pass to report combinational cycles as their actual
+member lists instead of a guess.  The implementation lives here so neither
+module has to import the other.
+
+Instances are keyed by identity (``id()``) rather than name because a broken
+netlist may legally contain duplicate instance names -- that is one of the
+conditions lint exists to report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from .netlist import Instance
+
+__all__ = ["strongly_connected_instances", "instance_successors"]
+
+
+def instance_successors(
+    instances: Sequence[Instance],
+) -> Dict[int, List[Instance]]:
+    """Dependency edges between instances: driver -> reader.
+
+    Returns the successor map keyed by ``id(instance)``, considering only
+    nets driven and read *within* the given instance set.
+    """
+    produced: Dict[str, Instance] = {}
+    for inst in instances:
+        for net in inst.outputs:
+            produced[net] = inst
+    succs: Dict[int, List[Instance]] = {id(inst): [] for inst in instances}
+    for inst in instances:
+        for net in dict.fromkeys(inst.inputs):
+            source = produced.get(net)
+            if source is not None:
+                succs[id(source)].append(inst)
+    return succs
+
+
+def strongly_connected_instances(
+    nodes: Sequence[Instance], succs: Dict[int, List[Instance]]
+) -> List[List[Instance]]:
+    """Tarjan's algorithm (iterative) over instances keyed by identity.
+
+    Returns the strongly connected components in reverse topological order
+    of the condensation (callees before callers), as Tarjan produces them.
+    """
+    index: Dict[int, int] = {}
+    low: Dict[int, int] = {}
+    on_stack: Set[int] = set()
+    stack: List[Instance] = []
+    sccs: List[List[Instance]] = []
+    counter = 0
+
+    for root in nodes:
+        if id(root) in index:
+            continue
+        work = [(root, 0)]
+        while work:
+            node, next_child = work[-1]
+            if next_child == 0:
+                index[id(node)] = low[id(node)] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(id(node))
+            descended = False
+            children = succs[id(node)]
+            for i in range(next_child, len(children)):
+                child = children[i]
+                if id(child) not in index:
+                    work[-1] = (node, i + 1)
+                    work.append((child, 0))
+                    descended = True
+                    break
+                if id(child) in on_stack:
+                    low[id(node)] = min(low[id(node)], index[id(child)])
+            if descended:
+                continue
+            if low[id(node)] == index[id(node)]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(id(member))
+                    component.append(member)
+                    if member is node:
+                        break
+                sccs.append(component)
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[id(parent)] = min(low[id(parent)], low[id(node)])
+    return sccs

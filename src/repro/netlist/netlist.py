@@ -66,15 +66,30 @@ class Netlist:
         return [self.add_input(f"{prefix}{i}") for i in range(count)]
 
     def add_output(self, net: str) -> str:
-        """Mark an existing net as a primary output."""
+        """Mark a net as a primary output.
+
+        The net does not need to exist yet (builders may export a net before
+        instantiating its driver), but :meth:`validate` checks that every
+        primary output ends up driven.
+        """
         if net not in self.primary_outputs:
             self.primary_outputs.append(net)
         return net
 
     def new_net(self, hint: str = "n") -> str:
-        """Return a fresh internal net name."""
+        """Return a fresh internal net name.
+
+        Names already taken by user-named nets or primary outputs are
+        skipped, so a builder that mixes explicit names with anonymous cells
+        can never collide with the generated ``{hint}_{n}`` namespace
+        (:mod:`repro.netlist.lint` still warns about nets squatting in it).
+        """
         self._counter += 1
-        return f"{hint}_{self._counter}"
+        name = f"{hint}_{self._counter}"
+        while name in self._drivers or name in self.primary_outputs:
+            self._counter += 1
+            name = f"{hint}_{self._counter}"
+        return name
 
     def add_cell(
         self,
@@ -142,11 +157,14 @@ class Netlist:
         return self._drivers.get(net)
 
     def validate(self) -> None:
-        """Check that every instance input is driven by something.
+        """Check that every instance input and primary output is driven.
 
         Builders may instantiate cells in any order (e.g. a flip-flop whose
         input comes from logic added later), so the driver check is deferred
-        to this method, which the simulator calls before running.
+        to this method, which the simulator calls before running.  Deeper
+        structural checks (observability, cycles as SCC member lists,
+        constant-propagated dead logic, ...) live in
+        :mod:`repro.netlist.lint`.
         """
         driven = set(self._drivers) | set(self.CONSTANT_NETS)
         for inst in self.instances:
@@ -155,6 +173,9 @@ class Netlist:
                     raise ValueError(
                         f"net {net!r} used by instance {inst.name!r} has no driver"
                     )
+        for net in self.primary_outputs:
+            if net not in driven:
+                raise ValueError(f"primary output {net!r} has no driver")
 
     def cell_counts(self) -> Dict[str, int]:
         """Histogram of cell types used."""
@@ -210,8 +231,29 @@ class Netlist:
 
         Returns the mapping from the other netlist's net names to the new
         names; the other netlist's primary inputs become fresh primary inputs
-        here unless a net of the mapped name already exists.
+        here unless a net of the mapped name already exists (the intended
+        connect-by-name stitching mechanism).  Prefixed *internal* nets must
+        not collide with pre-existing nets: that would silently rewire the
+        merged logic, so collisions are detected up front and reported with
+        both netlist names instead of surfacing later as an opaque
+        "already has a driver" error from :meth:`add_cell`.
         """
+        collisions = sorted(
+            f"{prefix}_{net}"
+            for inst in other.instances
+            for net in inst.outputs
+            if f"{prefix}_{net}" in self._drivers
+        )
+        if collisions:
+            preview = ", ".join(repr(net) for net in collisions[:5])
+            if len(collisions) > 5:
+                preview += f", ... {len(collisions) - 5} more"
+            raise ValueError(
+                f"cannot merge netlist {other.name!r} into {self.name!r} with "
+                f"prefix {prefix!r}: {len(collisions)} prefixed net(s) "
+                f"collide with nets that already exist in {self.name!r} "
+                f"({preview}); pick a different prefix"
+            )
         mapping: Dict[str, str] = {c: c for c in self.CONSTANT_NETS}
         for net in other.primary_inputs:
             new_name = f"{prefix}_{net}"

@@ -12,13 +12,23 @@ cycle simulator) into the three quantities reported in Table 3:
 When no simulation trace is available, a default activity factor is used --
 the same abstraction synthesis tools apply before switching-annotated power
 analysis.
+
+Both roll-ups cross-check the netlist against the static analyzer's
+cone-of-influence: cells no primary output can observe still contribute
+area, leakage and (assumed) switching energy, which silently inflates every
+Table 3 hardware number derived from the netlist.  When such cells exist,
+:func:`estimate_area_mm2` and :func:`estimate_power` emit an
+:class:`~repro.netlist.lint.UnobservableAreaWarning` naming the netlist and
+the cell count; run ``python -m repro lint`` for the per-instance list.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional, Union
 
+from .lint import UnobservableAreaWarning, unobservable_instances
 from .netlist import Netlist
 from .simulator import BatchSimulationResult, SimulationResult
 
@@ -28,6 +38,24 @@ __all__ = ["PowerReport", "estimate_area_mm2", "estimate_power", "energy_per_fra
 #: Default switching activity (toggles per cycle per net) used when no
 #: simulation trace is supplied.  0.15 is a conventional datapath assumption.
 DEFAULT_ACTIVITY = 0.15
+
+
+def _warn_unobservable(netlist: Netlist, quantity: str) -> None:
+    """Warn when a costed netlist contains cells no output can observe."""
+    unobservable = unobservable_instances(netlist)
+    if not unobservable:
+        return
+    preview = ", ".join(inst.name for inst in unobservable[:5])
+    if len(unobservable) > 5:
+        preview += f", ... {len(unobservable) - 5} more"
+    warnings.warn(
+        f"netlist {netlist.name!r}: {len(unobservable)} of "
+        f"{len(netlist.instances)} cells cannot affect any primary output "
+        f"but are counted in {quantity} ({preview}); run `python -m repro "
+        f"lint` for details",
+        UnobservableAreaWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass
@@ -57,6 +85,7 @@ def estimate_area_mm2(netlist: Netlist, utilization: float = 0.8) -> float:
     """
     if not 0.0 < utilization <= 1.0:
         raise ValueError("utilization must lie in (0, 1]")
+    _warn_unobservable(netlist, "area")
     cell_area_um2 = netlist.total_area_um2()
     return cell_area_um2 / utilization / 1e6
 
@@ -87,6 +116,7 @@ def estimate_power(
     """
     if frequency_mhz <= 0:
         raise ValueError("frequency must be positive")
+    _warn_unobservable(netlist, "power")
 
     if simulation is not None:
         effective_activity = simulation.average_activity()

@@ -64,6 +64,18 @@ cells through their positionwise ``word_logic``, register transitions
 through ``Cell.word_step``), so even non-autonomous feedback circuits cost
 one Python pass over the cycles for the whole batch.  Cells without a
 ``word_step`` fall back to one per-trace core iteration per stimulus set.
+
+Strict elaboration
+------------------
+Both entry points accept ``strict=True`` to run the error-severity rules of
+the static analyzer (:mod:`repro.netlist.lint`) before execution.  Plain
+``validate()`` only proves that instance inputs have drivers; strict mode
+additionally rejects undriven primary outputs, duplicate instance names
+(which would silently share one sequential-state entry in the cycle loop),
+combinational cycles (reported as their actual SCC member list), and
+out-of-range ``initial_state`` values (which diverge between the packed and
+unpacked backends).  Use it when simulating netlists from new or generated
+builders; the cost is one linear graph pass.
 """
 
 from __future__ import annotations
@@ -82,6 +94,7 @@ from ..bitstream.packed import (
     unpack_bits,
     words_for,
 )
+from .graph import strongly_connected_instances
 from .netlist import Instance, Netlist
 
 __all__ = [
@@ -193,6 +206,16 @@ class BatchSimulationResult:
 # --------------------------------------------------------------------------- #
 # shared stimulus / record validation
 # --------------------------------------------------------------------------- #
+def _strict_elaborate(netlist: Netlist) -> None:
+    """Run error-level static analysis before execution (``strict=True``)."""
+    # Imported here, not at module top: lint is pure graph analysis and
+    # drags no simulation state, but keeping the import local makes the
+    # layering explicit (lint never imports the simulator back).
+    from .lint import enforce
+
+    enforce(netlist, severity="error")
+
+
 def _driven_nets(netlist: Netlist) -> List[str]:
     """All driven nets in deterministic order: inputs, then instance outputs."""
     nets: List[str] = list(netlist.primary_inputs)
@@ -221,6 +244,7 @@ def simulate(
     cycles: Optional[int] = None,
     record: Optional[Sequence[str]] = None,
     backend: Optional[str] = None,
+    strict: bool = False,
 ) -> SimulationResult:
     """Simulate a netlist against input waveforms.
 
@@ -244,12 +268,22 @@ def simulate(
         ``"unpacked"`` runs the per-cycle cell loop.  Both produce
         bit-identical results on every netlist.  ``None`` defers to
         ``REPRO_BACKEND``, then ``"packed"``.
+    strict:
+        Strict elaboration mode: run the error-severity rules of
+        :mod:`repro.netlist.lint` before execution and raise
+        :class:`~repro.netlist.lint.LintError` on any hit.  This catches
+        structural corruption :meth:`~repro.netlist.netlist.Netlist.validate`
+        cannot see -- duplicate instance names silently sharing sequential
+        state, out-of-range initial states diverging between backends,
+        undriven primary outputs -- instead of producing wrong waveforms.
 
     Returns
     -------
     SimulationResult
     """
     backend = resolve_backend(backend)
+    if strict:
+        _strict_elaborate(netlist)
     netlist.validate()
 
     missing = [net for net in netlist.primary_inputs if net not in stimulus]
@@ -295,6 +329,7 @@ def simulate_batch(
     record: Optional[Sequence[str]] = None,
     backend: Optional[str] = None,
     batch: Optional[int] = None,
+    strict: bool = False,
 ) -> BatchSimulationResult:
     """Simulate a netlist against a whole batch of stimulus traces at once.
 
@@ -322,12 +357,18 @@ def simulate_batch(
     batch:
         Explicit batch size; only needed when no stimulus entry is 2-D
         (e.g. an input-less netlist or all-shared stimulus).
+    strict:
+        Same strict elaboration mode as :func:`simulate`: error-severity
+        lint rules run once before the batch and raise
+        :class:`~repro.netlist.lint.LintError` on any hit.
 
     Returns
     -------
     BatchSimulationResult
     """
     backend = resolve_backend(backend)
+    if strict:
+        _strict_elaborate(netlist)
     netlist.validate()
 
     missing = [net for net in netlist.primary_inputs if net not in stimulus]
@@ -585,55 +626,10 @@ def _simulate_packed(
 # --------------------------------------------------------------------------- #
 # register feedback cores: narrow per-cycle resolution inside the packed run
 # --------------------------------------------------------------------------- #
-def _strongly_connected(
-    nodes: List[Instance], succs: Dict[int, List[Instance]]
-) -> List[List[Instance]]:
-    """Tarjan's algorithm (iterative) over instances keyed by identity."""
-    index: Dict[int, int] = {}
-    low: Dict[int, int] = {}
-    on_stack: Set[int] = set()
-    stack: List[Instance] = []
-    sccs: List[List[Instance]] = []
-    counter = 0
-
-    for root in nodes:
-        if id(root) in index:
-            continue
-        work = [(root, 0)]
-        while work:
-            node, next_child = work[-1]
-            if next_child == 0:
-                index[id(node)] = low[id(node)] = counter
-                counter += 1
-                stack.append(node)
-                on_stack.add(id(node))
-            descended = False
-            children = succs[id(node)]
-            for i in range(next_child, len(children)):
-                child = children[i]
-                if id(child) not in index:
-                    work[-1] = (node, i + 1)
-                    work.append((child, 0))
-                    descended = True
-                    break
-                if id(child) in on_stack:
-                    low[id(node)] = min(low[id(node)], index[id(child)])
-            if descended:
-                continue
-            if low[id(node)] == index[id(node)]:
-                component = []
-                while True:
-                    member = stack.pop()
-                    on_stack.discard(id(member))
-                    component.append(member)
-                    if member is node:
-                        break
-                sccs.append(component)
-            work.pop()
-            if work:
-                parent = work[-1][0]
-                low[id(parent)] = min(low[id(parent)], low[id(node)])
-    return sccs
+# Tarjan's algorithm moved to repro.netlist.graph so the static analyzer can
+# report combinational cycles with the same machinery; the alias keeps the
+# simulator's historical private name importable.
+_strongly_connected = strongly_connected_instances
 
 
 def _resolve_register_cores(

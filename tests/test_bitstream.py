@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.bitstream import BIPOLAR, UNIPOLAR, Bitstream
+from repro.bitstream import BIPOLAR, Bitstream
 
 
 bit_lists = st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=64)

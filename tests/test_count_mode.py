@@ -28,7 +28,7 @@ from repro.sc import (
     validate_mode,
 )
 from repro.sc.elements.adders import TreePlan
-from repro.bitstream.packed import pack_bits, packed_popcount
+from repro.bitstream.packed import pack_bits
 from repro.utils.windows import patches_to_map
 
 

@@ -7,7 +7,6 @@ import numpy as np
 import pytest
 
 from repro.datasets import (
-    DIGIT_SEGMENTS,
     SyntheticDigits,
     generate_digits,
     load_dataset,

@@ -1,6 +1,5 @@
 """Tests for the experiment harness (Tables 1-3, summary, report formatting)."""
 
-import numpy as np
 import pytest
 
 from repro.eval import (
@@ -19,7 +18,6 @@ from repro.eval import (
     run_table3_hardware,
     summarize,
 )
-from repro.eval.table3_accuracy import Table3AccuracyResult
 
 
 class TestTable1:

@@ -1,0 +1,539 @@
+"""Tests for the netlist static analyzer (repro.netlist.lint).
+
+Mutation style: start from a known-clean netlist, break exactly one thing,
+and assert the matching rule (and only it, at its severity) fires.  Also
+covers the report/stats structures, rule selection, strict elaboration via
+``simulate(strict=True)``, the power-model unobservable-area warning, the
+CLI subcommand, and the regression cases for the PR's satellite bugfixes
+(validate() primary-output check, merge() collision reporting, new_net()
+skipping taken names).
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.netlist import (
+    BUILDER_CATALOG,
+    LINT_RULES,
+    LintError,
+    Netlist,
+    UnobservableAreaWarning,
+    build_sc_dot_product,
+    enforce,
+    estimate_area_mm2,
+    estimate_power,
+    lint,
+    simulate,
+    simulate_batch,
+    unobservable_instances,
+)
+from repro.netlist.lint import _FANOUT_HOTSPOT_THRESHOLD
+
+
+def clean_pair() -> Netlist:
+    """A minimal lint-clean netlist: y = a AND b."""
+    net = Netlist("clean")
+    net.add_input("a")
+    net.add_input("b")
+    (y,) = net.add_cell("AND2", ["a", "b"], outputs=["y"])
+    net.add_output(y)
+    return net
+
+
+def rule_ids(report, severity=None):
+    found = report.findings if severity is None else [
+        f for f in report.findings if f.severity == severity
+    ]
+    return {f.rule for f in found}
+
+
+class TestCleanBaseline:
+    def test_clean_netlist_has_no_findings(self):
+        report = lint(clean_pair())
+        assert report.findings == []
+        assert not report.has_errors
+        assert report.counts() == {"error": 0, "warning": 0, "info": 0}
+
+    def test_report_identifies_netlist(self):
+        report = lint(clean_pair())
+        assert report.netlist == "clean"
+        assert report.cells == 1
+
+
+class TestErrorRules:
+    def test_undriven_input(self):
+        net = clean_pair()
+        net.add_cell("INV", ["ghost"], outputs=["gy"])
+        net.add_output("gy")
+        report = lint(net)
+        assert "undriven-input" in rule_ids(report, "error")
+        (finding,) = report.by_rule("undriven-input")
+        assert finding.net == "ghost"
+        assert "no driver" in finding.message
+        assert finding.hint
+
+    def test_undriven_primary_output(self):
+        net = clean_pair()
+        net.add_output("nowhere")
+        report = lint(net)
+        (finding,) = report.by_rule("undriven-output")
+        assert finding.severity == "error"
+        assert finding.net == "nowhere"
+
+    def test_duplicate_instance_names(self):
+        net = clean_pair()
+        net.add_cell("INV", ["a"], outputs=["i1"], instance_name="dup")
+        net.add_cell("INV", ["b"], outputs=["i2"], instance_name="dup")
+        net.add_output("i1")
+        net.add_output("i2")
+        # validate() cannot see this: every net is driven.
+        net.validate()
+        report = lint(net)
+        (finding,) = report.by_rule("duplicate-instance")
+        assert finding.severity == "error"
+        assert finding.instance == "dup"
+        assert "2 times" in finding.message
+
+    def test_combinational_cycle_names_scc_members(self):
+        net = Netlist("ring")
+        net.add_input("x")
+        net.add_cell("INV", ["b"], outputs=["a"], instance_name="inv_a")
+        net.add_cell("NAND2", ["a", "x"], outputs=["b"], instance_name="nand_b")
+        net.add_output("a")
+        report = lint(net)
+        (finding,) = report.by_rule("combinational-cycle")
+        assert finding.severity == "error"
+        assert "inv_a" in finding.message and "nand_b" in finding.message
+        assert "2 instance(s)" in finding.message
+
+    def test_self_loop_is_a_cycle(self):
+        net = Netlist("selfloop")
+        net.add_input("x")
+        net.add_cell("NAND2", ["x", "q"], outputs=["q"], instance_name="latch")
+        net.add_output("q")
+        report = lint(net)
+        (finding,) = report.by_rule("combinational-cycle")
+        assert "latch" in finding.message
+
+    def test_sequential_feedback_is_not_a_cycle(self):
+        # A TFF in a loop with an XOR is fine: the register breaks the path.
+        net = Netlist("tff_loop")
+        net.add_input("t")
+        (q,) = net.add_cell("TFF", ["t"], outputs=["q"])
+        (y,) = net.add_cell("XOR2", ["t", q], outputs=["y"])
+        net.add_output(y)
+        net.add_output(q)
+        assert lint(net).by_rule("combinational-cycle") == []
+
+    def test_bad_initial_state(self):
+        net = Netlist("badstate")
+        net.add_input("d")
+        (q,) = net.add_cell("DFF", ["d"], outputs=["q"], initial_state=2)
+        net.add_output(q)
+        net.validate()  # driver-complete, so validate() passes
+        report = lint(net)
+        (finding,) = report.by_rule("bad-initial-state")
+        assert finding.severity == "error"
+        assert "initial_state=2" in finding.message
+
+
+class TestWarningRules:
+    def test_dangling_net(self):
+        net = clean_pair()
+        net.add_cell("INV", ["a"], outputs=["loose"], instance_name="u_loose")
+        report = lint(net)
+        (finding,) = report.by_rule("dangling-net")
+        assert finding.severity == "warning"
+        assert finding.net == "loose"
+        # The same cell is also outside every output cone.
+        assert {f.instance for f in report.by_rule("unobservable-logic")} == {
+            "u_loose"
+        }
+
+    def test_unobservable_cone_is_transitive(self):
+        net = clean_pair()
+        # inv1 feeds inv2 feeds nothing: both are unobservable, only inv2's
+        # output dangles.
+        net.add_cell("INV", ["a"], outputs=["m"], instance_name="inv1")
+        net.add_cell("INV", ["m"], outputs=["end"], instance_name="inv2")
+        report = lint(net)
+        assert {f.instance for f in report.by_rule("unobservable-logic")} == {
+            "inv1",
+            "inv2",
+        }
+        assert [f.net for f in report.by_rule("dangling-net")] == ["end"]
+
+    def test_unused_input(self):
+        net = clean_pair()
+        net.add_input("spare")
+        report = lint(net)
+        (finding,) = report.by_rule("unused-input")
+        assert finding.severity == "warning"
+        assert finding.net == "spare"
+
+    def test_constant_cell_dead_logic(self):
+        net = clean_pair()
+        (z,) = net.add_cell("AND2", ["a", "0"], outputs=["z"], instance_name="dead")
+        (y2,) = net.add_cell("OR2", [z, "b"], outputs=["y2"])
+        net.add_output(y2)
+        report = lint(net)
+        (finding,) = report.by_rule("constant-cell")
+        assert finding.severity == "warning"
+        assert finding.instance == "dead"
+        assert "z=0" in finding.message
+
+    def test_constant_propagates_through_chains(self):
+        net = clean_pair()
+        (z,) = net.add_cell("AND2", ["a", "0"], outputs=["z"], instance_name="dead")
+        # OR2(z, 1) is constant 1 regardless of z; INV of that is constant 0.
+        (w,) = net.add_cell("OR2", [z, "1"], outputs=["w"], instance_name="dead2")
+        (v,) = net.add_cell("INV", [w], outputs=["v"], instance_name="dead3")
+        (y2,) = net.add_cell("OR2", [v, "b"], outputs=["y2"])
+        net.add_output(y2)
+        report = lint(net)
+        assert {f.instance for f in report.by_rule("constant-cell")} == {
+            "dead",
+            "dead2",
+            "dead3",
+        }
+        # The downstream reader of the propagated constant gets an info note.
+        nets = {f.net for f in report.by_rule("constant-input")}
+        assert {"0", "1", "z", "w", "v"} <= nets
+
+    def test_xor_with_itself_is_constant(self):
+        net = Netlist("xor_self")
+        net.add_input("a")
+        (y,) = net.add_cell("XOR2", ["a", "a"], outputs=["y"], instance_name="u_x")
+        net.add_output(y)
+        report = lint(net)
+        # Exhaustive evaluation assigns each distinct unknown net one value,
+        # so both pins see the same bit and x XOR x is proven constant 0.
+        (finding,) = report.by_rule("constant-cell")
+        assert finding.instance == "u_x"
+        assert "y=0" in finding.message
+
+    def test_net_name_collision(self):
+        net = clean_pair()
+        # Squat far ahead in the and2_y_{n} namespace new_net() uses.
+        (z,) = net.add_cell("AND2", ["a", "b"], outputs=["and2_y_999"])
+        net.add_output(z)
+        report = lint(net)
+        (finding,) = report.by_rule("net-name-collision")
+        assert finding.severity == "warning"
+        assert finding.net == "and2_y_999"
+
+    def test_plain_user_names_do_not_collide(self):
+        net = clean_pair()
+        (z,) = net.add_cell("AND2", ["a", "b"], outputs=["pp0_7"])
+        net.add_output(z)
+        assert lint(net).by_rule("net-name-collision") == []
+
+
+class TestInfoRules:
+    def test_constant_input_literal(self):
+        net = clean_pair()
+        (z,) = net.add_cell("OR2", ["y", "1"], outputs=["z"])
+        net.add_output(z)
+        report = lint(net)
+        assert any(
+            f.net == "1" and f.severity == "info"
+            for f in report.by_rule("constant-input")
+        )
+
+    def test_fanout_hotspot(self):
+        net = Netlist("hot")
+        net.add_input("x")
+        outs = []
+        for i in range(_FANOUT_HOTSPOT_THRESHOLD):
+            (y,) = net.add_cell("INV", ["x"], outputs=[f"y{i}"])
+            outs.append(y)
+        for y in outs:
+            net.add_output(y)
+        report = lint(net)
+        (finding,) = report.by_rule("fanout-hotspot")
+        assert finding.net == "x"
+        assert str(_FANOUT_HOTSPOT_THRESHOLD) in finding.message
+
+    def test_ignored_initial_state(self):
+        net = clean_pair()
+        net.instances[0].initial_state = 1
+        report = lint(net)
+        (finding,) = report.by_rule("ignored-initial-state")
+        assert finding.severity == "info"
+        assert "no effect" in finding.message
+
+
+class TestStats:
+    def test_logic_depth_and_critical_path(self):
+        net = Netlist("chain")
+        net.add_input("a")
+        prev = "a"
+        for i in range(4):
+            (prev,) = net.add_cell(
+                "INV", [prev], outputs=[f"s{i}"], instance_name=f"inv{i}"
+            )
+        net.add_output(prev)
+        report = lint(net)
+        assert report.stats.logic_depth == {"s3": 4}
+        assert report.stats.critical_path_length == 4
+        assert report.stats.critical_path == ["inv0", "inv1", "inv2", "inv3"]
+
+    def test_sequential_outputs_reset_depth(self):
+        net = Netlist("pipelined")
+        net.add_input("a")
+        (m,) = net.add_cell("INV", ["a"], outputs=["m"])
+        (q,) = net.add_cell("DFF", [m], outputs=["q"])
+        (y,) = net.add_cell("INV", [q], outputs=["y"])
+        net.add_output(y)
+        report = lint(net)
+        assert report.stats.logic_depth == {"y": 1}
+
+    def test_cyclic_netlist_reports_none_depth(self):
+        net = Netlist("ring")
+        net.add_input("x")
+        net.add_cell("INV", ["b"], outputs=["a"])
+        net.add_cell("NAND2", ["a", "x"], outputs=["b"])
+        net.add_output("a")
+        report = lint(net)
+        assert report.stats.logic_depth == {"a": None}
+        assert report.stats.critical_path_length is None
+
+    def test_fanout_histogram(self):
+        net = clean_pair()  # a->1 reader, b->1 reader, y->0 readers (PO)
+        report = lint(net)
+        assert report.stats.fanout_histogram == {0: 1, 1: 2}
+        assert report.stats.max_fanout == 1
+
+
+class TestReportAndSelection:
+    def test_findings_sorted_by_severity(self):
+        net = clean_pair()
+        net.add_output("nowhere")  # error
+        net.add_input("spare")  # warning
+        (z,) = net.add_cell("OR2", ["y", "1"], outputs=["z"])  # info
+        net.add_output(z)
+        report = lint(net)
+        severities = [f.severity for f in report.findings]
+        assert severities == sorted(
+            severities, key=["error", "warning", "info"].index
+        )
+        assert [f.rule for f in report.errors] == ["undriven-output"]
+
+    def test_format_plain_hides_infos(self):
+        net = clean_pair()
+        (z,) = net.add_cell("OR2", ["y", "1"], outputs=["z"])
+        net.add_output(z)
+        report = lint(net)
+        assert "constant-input" not in report.format()
+        verbose = report.format(verbose=True)
+        assert "constant-input" in verbose
+        assert "fanout histogram" in verbose
+        assert "critical path" in verbose
+
+    def test_finding_format_includes_hint(self):
+        net = clean_pair()
+        net.add_output("nowhere")
+        (finding,) = lint(net).by_rule("undriven-output")
+        text = finding.format()
+        assert text.startswith("[E] undriven-output")
+        assert "hint:" in text
+
+    def test_rule_selection_and_ignore(self):
+        net = clean_pair()
+        net.add_output("nowhere")
+        net.add_input("spare")
+        only = lint(net, rules=["undriven-output"])
+        assert rule_ids(only) == {"undriven-output"}
+        ignored = lint(net, ignore=["unused-input"])
+        assert "unused-input" not in rule_ids(ignored)
+        assert "undriven-output" in rule_ids(ignored)
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="unknown lint rule"):
+            lint(clean_pair(), rules=["no-such-rule"])
+        with pytest.raises(ValueError, match="unknown lint rule"):
+            lint(clean_pair(), ignore=["no-such-rule"])
+
+    def test_registry_severities_are_valid(self):
+        assert LINT_RULES
+        for rule in LINT_RULES.values():
+            assert rule.severity in ("error", "warning", "info")
+            assert rule.description
+
+
+class TestEnforceAndStrictSimulate:
+    def test_enforce_clean_returns_report(self):
+        report = enforce(clean_pair())
+        assert not report.has_errors
+
+    def test_enforce_raises_with_report_attached(self):
+        net = clean_pair()
+        net.add_output("nowhere")
+        with pytest.raises(LintError, match="undriven-output") as exc:
+            enforce(net)
+        assert exc.value.report.has_errors
+
+    def test_enforce_warning_level(self):
+        net = clean_pair()
+        net.add_input("spare")
+        enforce(net)  # error level: warnings do not raise
+        with pytest.raises(LintError, match="unused-input"):
+            enforce(net, severity="warning")
+
+    def test_enforce_rejects_bad_severity(self):
+        with pytest.raises(ValueError, match="severity"):
+            enforce(clean_pair(), severity="fatal")
+
+    def test_strict_rejects_what_validate_accepts(self):
+        # Acceptance criterion: duplicate instance names pass validate()
+        # today but corrupt shared sequential state; strict=True refuses.
+        net = Netlist("dup_state")
+        net.add_input("d")
+        net.add_cell("DFF", ["d"], outputs=["q1"], instance_name="dup")
+        net.add_cell("DFF", ["q1"], outputs=["q2"], instance_name="dup")
+        net.add_output("q2")
+        net.validate()  # passes: every net is driven
+        stim = {"d": [1, 0, 1, 0]}
+        simulate(net, stim)  # non-strict runs (wrongly sharing state)
+        with pytest.raises(LintError, match="duplicate-instance"):
+            simulate(net, stim, strict=True)
+
+    def test_strict_rejects_bad_initial_state(self):
+        net = Netlist("badstate")
+        net.add_input("d")
+        (q,) = net.add_cell("DFF", ["d"], outputs=["q"], initial_state=3)
+        net.add_output(q)
+        net.validate()
+        with pytest.raises(LintError, match="bad-initial-state"):
+            simulate(net, {"d": [1, 0]}, strict=True)
+
+    def test_strict_matches_nonstrict_on_clean_netlist(self):
+        net = build_sc_dot_product(4, 5)
+        rng = np.random.default_rng(7)
+        stim = {
+            pin: rng.integers(0, 2, 32).astype(np.uint8)
+            for pin in net.primary_inputs
+        }
+        loose = simulate(net, stim)
+        strict = simulate(net, stim, strict=True)
+        for out in net.primary_outputs:
+            assert np.array_equal(loose.waveform(out), strict.waveform(out))
+
+    def test_strict_simulate_batch(self):
+        net = Netlist("dup_state")
+        net.add_input("d")
+        net.add_cell("DFF", ["d"], outputs=["q1"], instance_name="dup")
+        net.add_cell("DFF", ["q1"], outputs=["q2"], instance_name="dup")
+        net.add_output("q2")
+        stim = {"d": np.zeros((2, 8), dtype=np.uint8)}
+        simulate_batch(net, stim)  # non-strict accepts
+        with pytest.raises(LintError, match="duplicate-instance"):
+            simulate_batch(net, stim, strict=True)
+
+
+class TestUnobservableAreaWarning:
+    def make_partly_dead(self) -> Netlist:
+        net = clean_pair()
+        net.add_cell("INV", ["a"], outputs=["loose"])
+        return net
+
+    def test_estimate_power_warns(self):
+        with pytest.warns(UnobservableAreaWarning, match="cannot affect"):
+            estimate_power(self.make_partly_dead(), frequency_mhz=100.0)
+
+    def test_estimate_area_warns(self):
+        with pytest.warns(UnobservableAreaWarning, match="counted in area"):
+            estimate_area_mm2(self.make_partly_dead())
+
+    def test_clean_netlist_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", UnobservableAreaWarning)
+            estimate_power(clean_pair(), frequency_mhz=100.0)
+            estimate_area_mm2(clean_pair())
+
+    def test_unobservable_instances_helper(self):
+        net = self.make_partly_dead()
+        assert [i.name for i in unobservable_instances(net)] == [
+            net.instances[-1].name
+        ]
+        # No primary outputs: nothing is observable.
+        blind = Netlist("blind")
+        blind.add_input("a")
+        blind.add_cell("INV", ["a"], outputs=["y"])
+        assert len(unobservable_instances(blind)) == 1
+
+
+class TestSatelliteRegressions:
+    def test_validate_checks_primary_outputs(self):
+        # Regression: add_output() of a nonexistent net used to pass
+        # validate() silently.
+        net = clean_pair()
+        net.add_output("phantom")
+        with pytest.raises(ValueError, match="primary output 'phantom'"):
+            net.validate()
+
+    def test_merge_collision_names_both_netlists(self):
+        host = Netlist("host")
+        host.add_input("a")
+        host.add_cell("INV", ["a"], outputs=["blk_y"])
+        guest = Netlist("guest")
+        guest.add_input("x")
+        guest.add_cell("INV", ["x"], outputs=["y"])
+        guest.add_output("y")
+        with pytest.raises(ValueError) as exc:
+            host.merge(guest, prefix="blk")
+        message = str(exc.value)
+        assert "'guest'" in message and "'host'" in message
+        assert "'blk_y'" in message
+        assert "prefix" in message
+
+    def test_merge_without_collision_still_works(self):
+        host = Netlist("host")
+        guest = Netlist("guest")
+        guest.add_input("x")
+        guest.add_cell("INV", ["x"], outputs=["y"])
+        guest.add_output("y")
+        mapping = host.merge(guest, prefix="g")
+        assert mapping["y"] == "g_y"
+        host.validate()
+        assert not lint(host).has_errors
+
+    def test_new_net_skips_taken_names(self):
+        net = Netlist("skip")
+        net.add_input("n_1")  # squat on the first generated name
+        first = net.new_net()
+        assert first == "n_2"
+        (q,) = net.add_cell("DFF", ["n_1"], outputs=["n_3"])
+        assert net.new_net() == "n_4"
+
+
+class TestLintCli:
+    def test_lint_all_builders_exits_zero(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+        assert f"linted {len(BUILDER_CATALOG)} netlist(s)" in out
+
+    def test_lint_list(self, capsys):
+        assert main(["lint", "--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert sorted(BUILDER_CATALOG) == out
+
+    def test_lint_single_circuit_verbose(self, capsys):
+        assert main(["lint", "--circuit", "binary_mac", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "binary_mac" in out
+        assert "critical path" in out
+
+    def test_lint_unknown_circuit(self):
+        with pytest.raises(SystemExit, match="unknown circuit"):
+            main(["lint", "--circuit", "definitely_not_a_circuit"])
+
+    def test_lint_fail_on_info(self, capsys):
+        # The catalog is error- and warning-clean but has constant-tie infos.
+        assert main(["lint", "--fail-on", "info"]) == 1
+        assert main(["lint", "--fail-on", "never"]) == 0
+        capsys.readouterr()

@@ -1,0 +1,119 @@
+"""Property-based tests for the static analyzer over random netlists.
+
+The strategy grows a random DAG out of library cells (inputs drawn only from
+already-driven nets, so the construction is combinationally acyclic, has
+unique instance names and in-range initial states) and exports every leaf
+net.  Such netlists must lint error-free, lint must be deterministic, and
+strict elaboration must be a no-op relative to plain simulation on them.
+Mutations of a clean netlist must be detected by the matching rule.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist import (
+    CELL_LIBRARY,
+    Netlist,
+    lint,
+    simulate,
+)
+from repro.netlist.netlist import Instance
+
+CELL_NAMES = sorted(CELL_LIBRARY)
+
+
+@st.composite
+def random_netlists(draw):
+    """A random DAG of library cells with every leaf exported."""
+    net = Netlist("random")
+    nets = [net.add_input(f"in{i}") for i in range(draw(st.integers(1, 4)))]
+    for _ in range(draw(st.integers(1, 20))):
+        ctype = CELL_LIBRARY[draw(st.sampled_from(CELL_NAMES))]
+        ins = [
+            nets[draw(st.integers(0, len(nets) - 1))] for _ in ctype.inputs
+        ]
+        initial = draw(st.integers(0, 1)) if ctype.sequential else 0
+        nets.extend(net.add_cell(ctype.name, ins, initial_state=initial))
+    read = {n for inst in net.instances for n in inst.inputs}
+    for inst in net.instances:
+        for out in inst.outputs:
+            if out not in read:
+                net.add_output(out)
+    if not net.primary_outputs:
+        net.add_output(nets[-1])
+    return net
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_netlists())
+def test_random_dag_netlists_lint_error_free(net):
+    report = lint(net)
+    assert not report.has_errors, report.format(verbose=True)
+    # Every leaf was exported, so the whole netlist is observable.
+    assert report.by_rule("unobservable-logic") == []
+    assert report.by_rule("dangling-net") == []
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_netlists())
+def test_lint_is_deterministic_and_pure(net):
+    before = [(i.name, i.inputs, i.outputs) for i in net.instances]
+    first = lint(net)
+    second = lint(net)
+    assert first.findings == second.findings
+    assert first.stats == second.stats
+    assert [(i.name, i.inputs, i.outputs) for i in net.instances] == before
+
+
+@settings(max_examples=20, deadline=None)
+@given(random_netlists(), st.integers(0, 2**32 - 1))
+def test_strict_simulation_matches_plain_on_clean_netlists(net, seed):
+    rng = np.random.default_rng(seed)
+    stim = {
+        pin: rng.integers(0, 2, 16).astype(np.uint8)
+        for pin in net.primary_inputs
+    }
+    plain = simulate(net, stim)
+    strict = simulate(net, stim, strict=True)
+    for out in net.primary_outputs:
+        assert np.array_equal(plain.waveform(out), strict.waveform(out))
+    assert plain.total_toggles() == strict.total_toggles()
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_netlists(), st.data())
+def test_cut_wire_mutation_is_detected(net, data):
+    inst_index = data.draw(st.integers(0, len(net.instances) - 1))
+    inst = net.instances[inst_index]
+    pin_index = data.draw(st.integers(0, len(inst.inputs) - 1))
+    cut = list(inst.inputs)
+    cut[pin_index] = "severed_net"
+    net.instances[inst_index] = Instance(
+        name=inst.name,
+        cell=inst.cell,
+        inputs=tuple(cut),
+        outputs=inst.outputs,
+        initial_state=inst.initial_state,
+    )
+    report = lint(net)
+    assert any(
+        f.rule == "undriven-input" and f.net == "severed_net"
+        for f in report.errors
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_netlists(), st.data())
+def test_duplicate_name_mutation_is_detected(net, data):
+    if len(net.instances) < 2:
+        net.add_cell("INV", [net.primary_inputs[0]])
+        net.add_output(net.instances[-1].outputs[0])
+    indices = st.integers(0, len(net.instances) - 1)
+    a = data.draw(indices)
+    b = data.draw(indices.filter(lambda i: i != a))
+    net.instances[b].name = net.instances[a].name
+    report = lint(net)
+    assert any(
+        f.rule == "duplicate-instance" and f.instance == net.instances[a].name
+        for f in report.errors
+    )

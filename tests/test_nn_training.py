@@ -14,7 +14,6 @@ from repro.nn import (
     MaxPool2D,
     Sequential,
     Sign,
-    SoftmaxCrossEntropy,
     build_lenet5,
     build_lenet5_small,
     freeze_first_layer,

@@ -1,7 +1,6 @@
 """Cross-module property-based tests (hypothesis) on core invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.netlist import build_array_multiplier, build_ripple_adder, simulate

@@ -131,9 +131,9 @@ class TestTffHalver:
     def test_exact_halving_property(self, bits, s0):
         ones = int(bits.sum())
         result = int(np.asarray(tff_halver(bits, s0)).sum())
-        expected = (ones + s0) // 2 if ones else 0
         # ceil for s0=1, floor for s0=0
-        assert result == (ones + (1 if s0 else 0)) // 2
+        expected = (ones + (1 if s0 else 0)) // 2
+        assert result == expected
 
 
 class TestTffAdder:
