@@ -52,6 +52,7 @@ __all__ = [
     "pack_comparator_output",
     "unpack_bits",
     "mask_tail",
+    "tail_is_clear",
     "extend_periodic",
     "packed_popcount",
     "packed_not",
@@ -64,6 +65,7 @@ __all__ = [
     "packed_tff_add",
     "packed_or_add",
     "packed_mux_add",
+    "packed_apply_faults",
     "PackedBitstream",
 ]
 
@@ -166,6 +168,25 @@ def mask_tail(words: np.ndarray, n_bits: int) -> np.ndarray:
     if rem and arr.shape[-1]:
         arr[..., -1] &= np.uint64((1 << rem) - 1)
     return arr
+
+
+def tail_is_clear(words: np.ndarray, n_bits: int) -> bool:
+    """Audit the tail-word invariant: no bit past ``n_bits`` may be set.
+
+    Every kernel in this module is required to return words whose unused tail
+    positions are zero -- otherwise a later :func:`packed_popcount` would
+    count garbage bits.  Kernels that can *set* bits past the stream length
+    (NOT, XNOR, the alternating pad, and the fault-injection masks of
+    :func:`packed_apply_faults`) must therefore end with :func:`mask_tail`;
+    this predicate is the test hook that enforces the contract (see the
+    hypothesis invariant suite).
+    """
+    arr = _as_words(words)
+    rem = int(n_bits) % WORD_BITS
+    if rem == 0 or arr.shape[-1] == 0:
+        return True
+    tail = arr[..., -1] >> np.uint64(rem)
+    return not bool(np.any(tail))
 
 
 def extend_periodic(
@@ -337,6 +358,35 @@ def packed_or_add(x: np.ndarray, y: np.ndarray) -> np.ndarray:
 def packed_mux_add(x: np.ndarray, y: np.ndarray, select: np.ndarray) -> np.ndarray:
     """Packed multiplexer-based scaled adder, bit-identical to :func:`mux_add`."""
     return packed_mux(select, x, y)
+
+
+def packed_apply_faults(
+    words: np.ndarray,
+    stuck0: np.ndarray,
+    stuck1: np.ndarray,
+    flips: np.ndarray,
+    n_bits: int,
+) -> np.ndarray:
+    """Apply composed fault masks to packed stream(s): one vectorized pass.
+
+    The canonical fault composition of :mod:`repro.faults` (order is part of
+    the contract and pinned by tests):
+
+    1. stuck-at-1 positions are forced high (``w | stuck1``),
+    2. stuck-at-0 positions are forced low (``& ~stuck0``) -- a position in
+       both masks therefore reads 0, the dominant-low convention of a short
+       to ground,
+    3. soft-error flips (including burst flips) invert the *faulted* wire
+       (``^ flips``), modelling transient upsets downstream of the stuck
+       defects.
+
+    All masks broadcast against ``words``; the tail word is re-masked because
+    ``stuck1`` / ``flips`` may carry bits past ``n_bits`` (the mask
+    generators hash whole words).  Returns a new array.
+    """
+    out = (_as_words(words) | _as_words(stuck1)) & ~_as_words(stuck0)
+    out = out ^ _as_words(flips)
+    return mask_tail(out, n_bits)
 
 
 @dataclass(frozen=True)

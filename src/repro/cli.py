@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``):
     python -m repro accuracy --quick       # misclassification rates (Table 3 top)
     python -m repro activity               # simulated switching activity + power
     python -m repro lint                   # static analysis of builder netlists
+    python -m repro faults                 # fault-injection degradation sweep
     python -m repro claims                 # headline-claim summary
 
 ``lint`` runs the rule-based static analyzer (:mod:`repro.netlist.lint`)
@@ -40,6 +41,15 @@ random bit-stream trace and rolls the per-net toggle counts into power;
 with one batched word-parallel simulation.  ``hardware --activity-traces N``
 replaces the assumed activity factor of the stochastic power model by one
 measured the same way.
+
+``faults`` runs the deterministic fault-injection degradation sweep
+(:mod:`repro.faults.sweep`): it convolves synthetic digits through the
+stochastic first layer under seeded per-bit stream flips and compares the
+sign-map degradation against a matched binary fixed-point baseline whose
+accumulator words are upset at the same per-bit per-cycle rate.  The curve
+prints as a table and merges into a JSON artifact (``--output``, default
+``BENCH_faults.json``) unless ``--no-artifact`` is given.  ``--quick``
+selects the small smoke geometry used by CI.
 """
 
 from __future__ import annotations
@@ -194,9 +204,61 @@ def build_parser() -> argparse.ArgumentParser:
              "critical path",
     )
 
+    faults_cmd = sub.add_parser(
+        "faults",
+        help="fault-injection degradation sweep (SC conv layer vs binary baseline)",
+    )
+    faults_cmd.add_argument(
+        "--rates", type=_parse_rates, default=None, metavar="R1,R2,...",
+        help="comma-separated per-bit per-cycle upset rates in [0, 1] "
+             "(default: 0,1e-4,1e-3,1e-2,1e-1)",
+    )
+    faults_cmd.add_argument(
+        "--precision", type=int, default=8,
+        help="stream precision: 2**precision-bit streams and a matched "
+             "binary datapath (default 8)",
+    )
+    faults_cmd.add_argument("--images", type=int, default=6,
+                            help="synthetic digit images convolved (default 6)")
+    faults_cmd.add_argument("--filters", type=int, default=8,
+                            help="convolution kernels (default 8)")
+    faults_cmd.add_argument("--kernel", type=int, default=5,
+                            help="square kernel side (default 5)")
+    faults_cmd.add_argument("--trials", type=int, default=2,
+                            help="independent fault seeds averaged per rate")
+    faults_cmd.add_argument("--seed", type=int, default=0,
+                            help="master seed (dataset, kernels, fault seeds)")
+    faults_cmd.add_argument(
+        "--tile-patches", type=int, default=None, metavar="P",
+        help="simulate at most P image patches at once (bit-identical for "
+             "any tile size; default: $REPRO_TILE_PATCHES or untiled)",
+    )
+    faults_cmd.add_argument(
+        "--output", default="BENCH_faults.json", metavar="PATH",
+        help="JSON artifact the curve is merged into (default BENCH_faults.json)",
+    )
+    faults_cmd.add_argument(
+        "--no-artifact", action="store_true",
+        help="print the table only; do not write the JSON artifact",
+    )
+    faults_cmd.add_argument(
+        "--quick", action="store_true",
+        help="small smoke-test geometry (3 rates, 2 images, 4 filters, 1 trial)",
+    )
+    add_backend(faults_cmd)
+
     claims = sub.add_parser("claims", help="headline-claim summary (hardware only)")
     claims.add_argument("--raw", action="store_true")
     return parser
+
+
+def _parse_rates(text: str) -> tuple:
+    from .faults.sweep import parse_rates
+
+    try:
+        return parse_rates(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
 
 
 def _resolve_backend(arg: Optional[str]) -> str:
@@ -305,6 +367,58 @@ def _run_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_faults(args: argparse.Namespace) -> int:
+    """Run the fault-injection degradation sweep; return the exit code."""
+    from pathlib import Path
+
+    from .faults.sweep import (
+        DEFAULT_RATES,
+        FaultSweepConfig,
+        format_fault_sweep,
+        run_fault_sweep,
+        write_artifact,
+    )
+
+    kwargs = dict(
+        backend=_resolve_backend(args.backend),
+        seed=args.seed,
+        tile_patches=args.tile_patches,
+    )
+    if args.quick:
+        kwargs.update(
+            rates=(0.0, 1e-3, 1e-2),
+            images=2,
+            filters=4,
+            kernel=args.kernel,
+            precision=args.precision,
+            trials=1,
+        )
+        # Explicit --rates still wins over the quick preset.
+        if args.rates is not None:
+            kwargs["rates"] = args.rates
+    else:
+        kwargs.update(
+            rates=args.rates if args.rates is not None else DEFAULT_RATES,
+            precision=args.precision,
+            images=args.images,
+            filters=args.filters,
+            kernel=args.kernel,
+            trials=args.trials,
+        )
+    try:
+        config = FaultSweepConfig(**kwargs)
+    except ValueError as exc:
+        raise SystemExit(f"repro: error: {exc}") from exc
+
+    result = run_fault_sweep(config)
+    print(format_fault_sweep(result))
+    if not args.no_artifact:
+        path = Path(args.output)
+        write_artifact(result, path)
+        print(f"wrote {path}")
+    return 0
+
+
 def _accuracy_config(args: argparse.Namespace) -> AccuracyConfig:
     kwargs = dict(
         include_no_retrain=args.no_retrain_row,
@@ -378,6 +492,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _run_activity(args)
     elif args.command == "lint":
         return _run_lint(args)
+    elif args.command == "faults":
+        return _run_faults(args)
     elif args.command == "claims":
         hardware = run_table3_hardware(calibrate=not args.raw)
         print(format_headline_claims(summarize(hardware)))

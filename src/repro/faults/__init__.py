@@ -1,0 +1,45 @@
+"""Deterministic fault injection and graceful degradation (``repro.faults``).
+
+The paper's headline robustness claim is that stochastic-computing
+arithmetic degrades *gracefully* under bit errors: a flipped stream bit
+perturbs an encoded value by only ``1/N``, while a flipped high-order bit of
+a binary two's-complement word is catastrophic.  This package makes that
+claim measurable:
+
+* :mod:`~repro.faults.masks` -- counter-hashed (SplitMix64) packed word
+  masks: seed-deterministic randomness that is independent of tile
+  boundaries, evaluation order, and simulation backend;
+* :mod:`~repro.faults.spec` -- :class:`FaultSpec` (the composable fault
+  environment: soft-error flips, stuck-at-0/1 stream bits, burst faults,
+  stuck SNG register cells, sensor noise), :class:`FaultPlan` (mask
+  application with the documented ``((w | stuck1) & ~stuck0) ^ flips``
+  composition), :func:`inject_stream`, and :class:`NetlistFaults`
+  (per-cell stuck-at faults for the gate-level simulator);
+* :mod:`~repro.faults.binary` -- the matched binary baseline:
+  :func:`flip_binary_words` upsets two's-complement words at the same
+  per-bit rate;
+* :mod:`~repro.faults.sweep` -- the accuracy-vs-fault-rate degradation
+  experiment behind the ``repro faults`` CLI and ``BENCH_faults.json``.
+
+Engines accept a spec via their ``faults`` field; stream-level faults force
+the stream-domain evaluation (``mode="auto"`` resolves to streams, explicit
+``mode="counts"`` raises) because the count-domain shortcuts assume
+uncorrupted adder-tree inputs.
+"""
+
+from .binary import flip_binary_words
+from .masks import RATE_BITS, bernoulli_words, burst_words, coordinate_words, splitmix64
+from .spec import FaultPlan, FaultSpec, NetlistFaults, inject_stream
+
+__all__ = [
+    "RATE_BITS",
+    "splitmix64",
+    "coordinate_words",
+    "bernoulli_words",
+    "burst_words",
+    "FaultSpec",
+    "FaultPlan",
+    "NetlistFaults",
+    "inject_stream",
+    "flip_binary_words",
+]

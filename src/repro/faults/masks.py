@@ -1,0 +1,184 @@
+"""Deterministic fault-mask generation: counter-hashed packed word masks.
+
+Every fault model in :mod:`repro.faults` reduces to three packed 64-bit word
+masks per stream -- ``stuck0``, ``stuck1`` and ``flips`` -- applied in one
+vectorized pass by :func:`repro.bitstream.packed.packed_apply_faults`:
+
+    faulted = ((w | stuck1) & ~stuck0) ^ flips
+
+The masks are *counter-based*: the random word at ``(stream, tap, word,
+slice)`` is a SplitMix64 hash of that coordinate tuple and the spec's seed,
+never a draw from sequential generator state.  This is what makes fault
+injection deterministic under recomposition: the mask a stream receives
+depends only on its global identity (its index in the flattened batch, plus
+the caller-supplied ``offset``), not on tile boundaries, evaluation order,
+the simulation backend, or how many streams were faulted before it.  Tiled
+and untiled convolutions, packed and unpacked engines, and repeated ``dot()``
+calls therefore all see bit-identical faulted streams.
+
+Per-bit Bernoulli masks with arbitrary rate ``p`` are built by the standard
+bit-slicing (Horner) combination of ``RATE_BITS`` independent uniform words:
+writing ``p`` in binary as ``0.b1 b2 ... bK``, the accumulator is combined
+MSB-last as ``acc = word | acc`` where ``b_i == 1`` and ``acc = word & acc``
+where ``b_i == 0``, which yields exactly ``P(bit set) = p`` truncated to
+``K`` bits of resolution per bit position, independently across positions.
+
+Burst faults smear a Bernoulli "burst start" mask downstream over
+``burst_length`` consecutive cycles (across word boundaries), modelling a
+multi-cycle upset such as a latched glitch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bitstream.packed import WORD_BITS, mask_tail, words_for
+
+__all__ = [
+    "RATE_BITS",
+    "splitmix64",
+    "coordinate_words",
+    "bernoulli_words",
+    "burst_words",
+]
+
+#: Binary digits of the fault rate used by the Bernoulli bit-slicing scheme;
+#: rates are realized with resolution ``2**-RATE_BITS`` (~6e-10 at 31 bits),
+#: far below any physically meaningful fault-rate difference.
+RATE_BITS = 31
+
+_U64 = np.uint64
+_GOLDEN = _U64(0x9E3779B97F4A7C15)
+_MIX1 = _U64(0xBF58476D1CE4E5B9)
+_MIX2 = _U64(0x94D049BB133111EB)
+
+
+def splitmix64(x: np.ndarray) -> np.ndarray:
+    """Vectorized SplitMix64 finalizer: uniform uint64 words from counters.
+
+    This is the output function of the SplitMix64 generator (Steele et al.),
+    whose designed use is exactly this: hashing sequential counter values
+    into statistically independent 64-bit words.  Input must be uint64.
+    """
+    z = (x + _GOLDEN).astype(_U64)
+    z = (z ^ (z >> _U64(30))) * _MIX1
+    z = (z ^ (z >> _U64(27))) * _MIX2
+    return z ^ (z >> _U64(31))
+
+
+def coordinate_words(
+    seed: int, salt: int, n_streams: int, taps: int, n_bits: int, offset: int = 0
+) -> np.ndarray:
+    """Base counter grid for one mask channel: shape ``(n_streams, taps, W)``.
+
+    Every ``(stream, tap, word)`` cell holds a distinct uint64 counter derived
+    from the *global* stream index ``offset + stream``; ``salt`` separates the
+    mask channels (flips vs. stuck-at-0 vs. ...) and the Bernoulli slices so
+    no two channels ever reuse a hash input.
+    """
+    width = words_for(n_bits)
+    stream_idx = np.arange(offset, offset + n_streams, dtype=np.uint64)
+    tap_idx = np.arange(taps, dtype=np.uint64)
+    word_idx = np.arange(width, dtype=np.uint64)
+    flat = (
+        stream_idx[:, np.newaxis, np.newaxis] * _U64(taps)
+        + tap_idx[np.newaxis, :, np.newaxis]
+    ) * _U64(max(width, 1)) + word_idx[np.newaxis, np.newaxis, :]
+    # Fold seed and salt in through one mixing round so adjacent seeds do not
+    # produce correlated counter grids.  The fold is computed in Python ints
+    # modulo 2**64 (numpy uint64 *scalar* arithmetic warns on wraparound).
+    mixed = (int(seed) * 0x632BE59BD9B4E019 + int(salt) * 0xD6E8FEB86659FD93) % (
+        1 << 64
+    )
+    return flat * _GOLDEN + splitmix64(np.asarray([mixed], dtype=np.uint64))
+
+
+def bernoulli_words(
+    rate: float,
+    seed: int,
+    salt: int,
+    n_streams: int,
+    taps: int,
+    n_bits: int,
+    offset: int = 0,
+) -> np.ndarray:
+    """Per-bit Bernoulli(``rate``) packed masks, shape ``(n_streams, taps, W)``.
+
+    Deterministic in ``(seed, salt, global stream index, tap, word)``; the
+    tail word is pre-masked so downstream popcounts never see garbage bits.
+    A ``rate`` of 0 returns all-zero words without hashing.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"fault rate must lie in [0, 1], got {rate}")
+    width = words_for(n_bits)
+    shape = (n_streams, taps, width)
+    if rate == 0.0 or n_bits == 0 or n_streams == 0 or taps == 0:
+        return np.zeros(shape, dtype=np.uint64)
+    # Truncate the rate to RATE_BITS binary digits b1..bK (MSB first).
+    scaled = int(round(rate * (1 << RATE_BITS)))
+    scaled = min(max(scaled, 0), 1 << RATE_BITS)
+    if scaled == 0:
+        return np.zeros(shape, dtype=np.uint64)
+    if scaled == 1 << RATE_BITS:
+        return mask_tail(np.full(shape, _U64(0xFFFFFFFFFFFFFFFF)), n_bits)
+    digits = [(scaled >> (RATE_BITS - 1 - i)) & 1 for i in range(RATE_BITS)]
+    # Drop trailing zero digits: they only AND in extra words without
+    # changing the realized probability.
+    while digits and digits[-1] == 0:
+        digits.pop()
+    base = coordinate_words(seed, salt, n_streams, taps, n_bits, offset)
+
+    # Odd stride: Bernoulli slice offsets never collide.  Offsets are folded
+    # in Python ints modulo 2**64 (numpy uint64 *scalar* products warn on
+    # wraparound; the subsequent array + scalar add wraps silently).
+    def slice_base(i: int) -> np.ndarray:
+        return base + _U64((i * 0x3C6EF372FE94F82B) % (1 << 64))
+
+    # Horner combination, LSB digit first: after processing digit b_i the
+    # accumulator's set-probability is exactly 0.b_i b_{i+1} ... b_M.  The
+    # last digit is 1 (trailing zeros were dropped), so the seed step
+    # ``acc = w | 0`` collapses to ``acc = w``.
+    acc = splitmix64(slice_base(len(digits) - 1))
+    for i in range(len(digits) - 2, -1, -1):
+        word = splitmix64(slice_base(i))
+        if digits[i]:
+            acc = word | acc
+        else:
+            acc = word & acc
+    return mask_tail(acc, n_bits)
+
+
+def burst_words(
+    rate: float,
+    length: int,
+    seed: int,
+    salt: int,
+    n_streams: int,
+    taps: int,
+    n_bits: int,
+    offset: int = 0,
+) -> np.ndarray:
+    """Burst-fault flip masks: Bernoulli(``rate``) starts smeared ``length`` bits.
+
+    Each burst start flips itself and the ``length - 1`` following stream
+    positions (later cycles, across word boundaries), so a burst of length
+    ``L`` corrupts ``L`` consecutive clock edges.  Overlapping bursts merge
+    (OR), as colliding upsets would on a real wire.
+    """
+    if length < 1:
+        raise ValueError(f"burst_length must be positive, got {length}")
+    starts = bernoulli_words(rate, seed, salt, n_streams, taps, n_bits, offset)
+    if length == 1 or not starts.any():
+        return starts
+    out = starts.copy()
+    shifted = starts
+    for _ in range(min(length, n_bits) - 1):
+        # Shift every stream one position toward later cycles, carrying the
+        # top bit of each word into the next word (same layout as
+        # packed_delay, but accumulated so each start covers a whole run).
+        nxt = shifted << _U64(1)
+        if shifted.shape[-1] > 1:
+            nxt[..., 1:] |= shifted[..., :-1] >> _U64(WORD_BITS - 1)
+        shifted = nxt
+        out |= shifted
+    return mask_tail(out, n_bits)

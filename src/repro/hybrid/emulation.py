@@ -148,10 +148,15 @@ class CalibratedSCEmulator:
         tile = tile if tile is not None else max(samples, 1)
         exact_diff = np.empty((samples, sample_weights.shape[0]), dtype=np.float64)
         if self._bipolar:
-            # Single counter: the sign activation compares it to N/2.
+            # Single counter: the sign activation compares it to N/2.  Fault
+            # masks (if any) are keyed on the global sample index, so the
+            # residuals match the engine's faulted behaviour at any tiling.
             for start in range(0, samples, tile):
                 stop = min(start + tile, samples)
-                x_streams = self.engine.prepare_inputs(sample_inputs[start:stop])
+                x_streams = self.engine.apply_faults(
+                    self.engine.prepare_inputs(sample_inputs[start:stop]),
+                    offset=start,
+                )
                 for k, kernel in enumerate(sample_weights):
                     result = self.engine.dot_prepared(x_streams, kernel)
                     exact_diff[start:stop, k] = result.count - self.engine.length // 2
@@ -161,7 +166,10 @@ class CalibratedSCEmulator:
             bank = self.engine.prepare_weights(sample_weights)
             for start in range(0, samples, tile):
                 stop = min(start + tile, samples)
-                x_streams = self.engine.prepare_inputs(sample_inputs[start:stop])
+                x_streams = self.engine.apply_faults(
+                    self.engine.prepare_inputs(sample_inputs[start:stop]),
+                    offset=start,
+                )
                 pos, neg = bank.counts(x_streams)
                 exact_diff[start:stop] = pos - neg
         ideal_diff = self._ideal_difference(sample_inputs, sample_weights)

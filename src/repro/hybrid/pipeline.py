@@ -25,11 +25,13 @@ byte-per-bit reference arrays (see :mod:`repro.bitstream.packed`).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
+from ..faults.spec import FaultSpec
 from ..nn.activations import Sign
 from ..nn.layers import Conv2D, StochasticResolutionConv2D
 from ..nn.network import Sequential
@@ -76,6 +78,14 @@ class HybridStochasticBinaryNetwork:
         ``None`` defers to the ``REPRO_TILE_PATCHES`` environment variable.
         Tiling bounds peak memory at full-test-set scale and never changes a
         counter value.
+    faults:
+        Optional :class:`~repro.faults.FaultSpec` describing the fault
+        environment of the stochastic first layer.  Stream-level faults are
+        threaded into the engine (forcing its stream-domain evaluation, see
+        :mod:`repro.faults`), and a non-zero ``sensor_noise_sigma`` is
+        applied by the sensor front end during acquisition.  Overrides any
+        fault spec already carried by ``engine``.  The binary layers are
+        unaffected -- this models defects in the stochastic fabric only.
     """
 
     def __init__(
@@ -87,14 +97,24 @@ class HybridStochasticBinaryNetwork:
         calibration_samples: int = 512,
         seed: int = 0,
         tile_patches: Optional[int] = None,
+        faults: Optional[FaultSpec] = None,
     ) -> None:
         self.model = model
-        self.engine = engine if engine is not None else new_sc_engine(precision=8)
-        self.front_end = (
+        engine = engine if engine is not None else new_sc_engine(precision=8)
+        if faults is not None:
+            engine = dataclasses.replace(engine, faults=faults)
+        self.faults = engine.faults
+        self.engine = engine
+        front_end = (
             front_end
             if front_end is not None
-            else SensorFrontEnd(precision=self.engine.precision)
+            else SensorFrontEnd(precision=engine.precision)
         )
+        if faults is not None and faults.sensor_noise_sigma > 0.0:
+            front_end = dataclasses.replace(
+                front_end, noise_sigma=faults.sensor_noise_sigma
+            )
+        self.front_end = front_end
         if self.front_end.precision != self.engine.precision:
             raise ValueError(
                 "front end and engine must use the same precision "

@@ -94,6 +94,7 @@ from ..bitstream.packed import (
     unpack_bits,
     words_for,
 )
+from ..faults.spec import NetlistFaults
 from .graph import strongly_connected_instances
 from .netlist import Instance, Netlist
 
@@ -238,6 +239,30 @@ def _validate_record(
     return record
 
 
+def _validate_faults(
+    netlist: Netlist,
+    faults: Optional[NetlistFaults | Mapping[str, int]],
+    nets: List[str],
+) -> Dict[str, int]:
+    """Coerce and lint-validate stuck-at faults against the netlist's nets.
+
+    Mirrors :func:`_validate_record`: every faulted net must be a driven net
+    of the netlist (a primary input or an instance output), so a typo cannot
+    silently simulate a fault-free circuit.  Constant nets cannot be forced.
+    """
+    coerced = NetlistFaults.coerce(faults)
+    if coerced is None or not coerced:
+        return {}
+    known = set(nets)
+    unknown = sorted(net for net in coerced.stuck_at if net not in known)
+    if unknown:
+        raise ValueError(
+            f"cannot force stuck-at faults on nets that do not exist in "
+            f"netlist {netlist.name!r} (or are constants): {unknown}"
+        )
+    return dict(coerced.stuck_at)
+
+
 def simulate(
     netlist: Netlist,
     stimulus: Mapping[str, Sequence[int] | np.ndarray],
@@ -245,6 +270,7 @@ def simulate(
     record: Optional[Sequence[str]] = None,
     backend: Optional[str] = None,
     strict: bool = False,
+    faults: Optional[NetlistFaults | Mapping[str, int]] = None,
 ) -> SimulationResult:
     """Simulate a netlist against input waveforms.
 
@@ -276,6 +302,14 @@ def simulate(
         cannot see -- duplicate instance names silently sharing sequential
         state, out-of-range initial states diverging between backends,
         undriven primary outputs -- instead of producing wrong waveforms.
+    faults:
+        Optional :class:`~repro.faults.NetlistFaults` (or a plain
+        ``{net: 0-or-1}`` mapping) of stuck-at faults: each listed net is
+        forced to its constant at the driver for the whole run, so all
+        fan-out, register captures, recorded waveforms and toggle counts see
+        the defect.  Unknown net names raise ``ValueError`` (the same
+        lint-style validation as ``record``).  Both backends force
+        identically.
 
     Returns
     -------
@@ -314,12 +348,17 @@ def simulate(
 
     nets = _driven_nets(netlist)
     record = _validate_record(netlist, record, nets)
+    forced = _validate_faults(netlist, faults, nets)
 
     if backend == "packed":
-        result = _simulate_packed(netlist, waves, int(cycles), record, nets)
+        result = _simulate_packed(
+            netlist, waves, int(cycles), record, nets, forced=forced
+        )
         if result is not None:
             return result
-    return _simulate_cycle_loop(netlist, waves, int(cycles), record, nets)
+    return _simulate_cycle_loop(
+        netlist, waves, int(cycles), record, nets, forced=forced
+    )
 
 
 def simulate_batch(
@@ -330,6 +369,7 @@ def simulate_batch(
     backend: Optional[str] = None,
     batch: Optional[int] = None,
     strict: bool = False,
+    faults: Optional[NetlistFaults | Mapping[str, int]] = None,
 ) -> BatchSimulationResult:
     """Simulate a netlist against a whole batch of stimulus traces at once.
 
@@ -361,6 +401,9 @@ def simulate_batch(
         Same strict elaboration mode as :func:`simulate`: error-severity
         lint rules run once before the batch and raise
         :class:`~repro.netlist.lint.LintError` on any hit.
+    faults:
+        Same stuck-at fault model as :func:`simulate`; the forced constants
+        are shared by every trace in the batch.
 
     Returns
     -------
@@ -427,10 +470,13 @@ def simulate_batch(
 
     nets = _driven_nets(netlist)
     record = _validate_record(netlist, record, nets)
+    forced = _validate_faults(netlist, faults, nets)
     cycles = int(cycles)
 
     if backend == "packed":
-        result = _simulate_packed(netlist, waves, cycles, record, nets, batch=batch)
+        result = _simulate_packed(
+            netlist, waves, cycles, record, nets, batch=batch, forced=forced
+        )
         if result is not None:
             return result
 
@@ -442,6 +488,7 @@ def simulate_batch(
             cycles,
             record,
             nets,
+            forced=forced,
         )
         for k in range(batch)
     ]
@@ -467,9 +514,11 @@ def _simulate_cycle_loop(
     cycles: int,
     record: List[str],
     nets: List[str],
+    forced: Optional[Dict[str, int]] = None,
 ) -> SimulationResult:
     order = netlist.topological_order()
     sequential = netlist.sequential_instances()
+    forced = forced or {}
 
     values: Dict[str, int] = {"0": 0, "1": 1}
     state: Dict[str, int] = {inst.name: inst.initial_state for inst in sequential}
@@ -478,20 +527,23 @@ def _simulate_cycle_loop(
     recorded = {net: np.zeros(cycles, dtype=np.uint8) for net in record}
 
     for t in range(cycles):
+        # Stuck-at forcing happens at every driver write: a faulted net is
+        # pinned to its constant before any reader (topologically later
+        # cells, register captures, waveform recording) can observe it.
         for net in netlist.primary_inputs:
-            values[net] = int(waves[net][t])
+            values[net] = forced[net] if net in forced else int(waves[net][t])
         # Sequential outputs present their stored state for this cycle
         # (inputs are irrelevant for the Q value, so zeros are passed).
         for inst in sequential:
             _, outs = inst.cell.logic(state[inst.name], tuple(0 for _ in inst.inputs))
             for net, bit in zip(inst.outputs, outs):
-                values[net] = int(bit)
+                values[net] = forced[net] if net in forced else int(bit)
 
         for inst in order:
             in_bits = tuple(values[n] for n in inst.inputs)
             out_bits = inst.cell.logic(in_bits)
             for net, bit in zip(inst.outputs, out_bits):
-                values[net] = int(bit)
+                values[net] = forced[net] if net in forced else int(bit)
 
         # Capture next state using the settled input values.
         for inst in sequential:
@@ -520,6 +572,7 @@ def _simulate_packed(
     record: List[str],
     nets: List[str],
     batch: Optional[int] = None,
+    forced: Optional[Dict[str, int]] = None,
 ):
     """Word-parallel simulation of one trace (``batch=None``) or a batch.
 
@@ -539,12 +592,21 @@ def _simulate_packed(
 
     width = words_for(cycles)
     ones = mask_tail(np.full(width, np.uint64(0xFFFFFFFFFFFFFFFF)), cycles)
+    forced = forced or {}
+    # Stuck-at forcing in the word domain: a faulted net's full-run waveform
+    # is the all-ones (tail-masked) or all-zeros word array, substituted at
+    # every driver write so downstream word kernels only ever see the
+    # constant -- bit-identical to the cycle loop's per-write forcing.
+    forced_words: Dict[str, np.ndarray] = {
+        net: (ones if value else np.zeros(width, dtype=np.uint64))
+        for net, value in forced.items()
+    }
     values: Dict[str, np.ndarray] = {
         "0": np.zeros(width, dtype=np.uint64),
         "1": ones,
     }
     for net in netlist.primary_inputs:
-        values[net] = pack_bits(waves[net][..., :cycles])
+        values[net] = forced_words.get(net, pack_bits(waves[net][..., :cycles]))
 
     comb_order = netlist.topological_order()
     pending_comb = list(comb_order)
@@ -558,7 +620,7 @@ def _simulate_packed(
                     tuple(values[net] for net in inst.inputs), ones
                 )
                 for net, wave in zip(inst.outputs, outs):
-                    values[net] = wave
+                    values[net] = forced_words.get(net, wave)
                 progress = True
             else:
                 still_comb.append(inst)
@@ -572,7 +634,7 @@ def _simulate_packed(
                     inst.initial_state,
                 )
                 for net, wave in zip(inst.outputs, outs):
-                    values[net] = wave
+                    values[net] = forced_words.get(net, wave)
                 progress = True
             else:
                 still_seq.append(inst)
@@ -582,7 +644,7 @@ def _simulate_packed(
             # components of the stuck dependency graph, then keep going
             # word-parallel on everything they unblock.
             resolved = _resolve_register_cores(
-                pending_comb + pending_seq, comb_order, values, cycles, batch
+                pending_comb + pending_seq, comb_order, values, cycles, batch, forced
             )
             pending_comb = [i for i in pending_comb if id(i) not in resolved]
             pending_seq = [i for i in pending_seq if id(i) not in resolved]
@@ -638,6 +700,7 @@ def _resolve_register_cores(
     values: Dict[str, np.ndarray],
     cycles: int,
     batch: Optional[int],
+    forced: Optional[Dict[str, int]] = None,
 ) -> Set[int]:
     """Resolve every *ready* feedback core among the stuck instances.
 
@@ -676,7 +739,7 @@ def _resolve_register_cores(
             # A trivial ready node cannot exist at a stall (it would have
             # been evaluated word-parallel); skip defensively.
             continue  # pragma: no cover
-        _resolve_core(component, comb_order, values, cycles, batch)
+        _resolve_core(component, comb_order, values, cycles, batch, forced)
         resolved |= member_ids
     if not resolved:  # pragma: no cover - stalls always expose a ready core
         raise RuntimeError(
@@ -691,8 +754,10 @@ def _resolve_core(
     values: Dict[str, np.ndarray],
     cycles: int,
     batch: Optional[int],
+    forced: Optional[Dict[str, int]] = None,
 ) -> None:
     """Per-cycle resolution of one feedback core; packs waveforms into ``values``."""
+    forced = forced or {}
     core_ids = {id(inst) for inst in core}
     core_seq = [inst for inst in core if inst.cell.sequential]
     core_comb = [inst for inst in comb_order if id(inst) in core_ids]
@@ -707,10 +772,18 @@ def _resolve_core(
     autonomous = not external
     shared = all(values[net].ndim == 1 for net in external)
 
+    core_forced = {net: forced[net] for net in out_nets if net in forced}
+
     if batch is None or shared:
         ext_bits = {net: unpack_bits(values[net], cycles) for net in external}
         rec = _iterate_core(
-            core_seq, core_comb, out_nets, ext_bits, cycles, detect_period=autonomous
+            core_seq,
+            core_comb,
+            out_nets,
+            ext_bits,
+            cycles,
+            detect_period=autonomous,
+            forced=core_forced,
         )
         values.update({net: pack_bits(wave) for net, wave in rec.items()})
         return
@@ -725,7 +798,7 @@ def _resolve_core(
     if all(inst.cell.word_step is not None for inst in core_seq):
         values.update(
             _iterate_core_tracewords(
-                core_seq, core_comb, out_nets, ext_full, cycles, batch
+                core_seq, core_comb, out_nets, ext_full, cycles, batch, core_forced
             )
         )
         return
@@ -737,7 +810,13 @@ def _resolve_core(
             for net, wave in ext_full.items()
         }
         rec = _iterate_core(
-            core_seq, core_comb, out_nets, ext_bits, cycles, detect_period=False
+            core_seq,
+            core_comb,
+            out_nets,
+            ext_bits,
+            cycles,
+            detect_period=False,
+            forced=core_forced,
         )
         for net, wave in rec.items():
             stacked[net][k] = wave
@@ -751,6 +830,7 @@ def _iterate_core(
     ext_bits: Dict[str, np.ndarray],
     cycles: int,
     detect_period: bool,
+    forced: Optional[Dict[str, int]] = None,
 ) -> Dict[str, np.ndarray]:
     """Cycle-by-cycle evaluation of a feedback core's narrow state vector.
 
@@ -759,9 +839,12 @@ def _iterate_core(
     (autonomous cores only) the iteration stops at the first repeated
     register state and the recorded prefix is wrapped periodically out to
     ``cycles``, which is what keeps LFSR-heavy netlists fast at stream
-    lengths far beyond the register period.
+    lengths far beyond the register period.  ``forced`` pins stuck-at nets
+    driven inside the core at every write, so the fault feeds back into the
+    state evolution exactly like the reference cycle loop.
     """
     out_nets = list(out_nets)
+    forced = forced or {}
     state = {inst.name: inst.initial_state for inst in core_seq}
     rec = {net: np.empty(cycles, dtype=np.uint8) for net in out_nets}
     seen: Optional[Dict[tuple, int]] = {} if detect_period else None
@@ -782,11 +865,11 @@ def _iterate_core(
         for inst in core_seq:
             _, outs = inst.cell.logic(state[inst.name], tuple(0 for _ in inst.inputs))
             for net, bit in zip(inst.outputs, outs):
-                vals[net] = int(bit)
+                vals[net] = forced[net] if net in forced else int(bit)
         for inst in core_comb:
             out_bits = inst.cell.logic(tuple(vals[n] for n in inst.inputs))
             for net, bit in zip(inst.outputs, out_bits):
-                vals[net] = int(bit)
+                vals[net] = forced[net] if net in forced else int(bit)
         for inst in core_seq:
             new_state, _ = inst.cell.logic(
                 state[inst.name], tuple(vals[n] for n in inst.inputs)
@@ -813,6 +896,7 @@ def _iterate_core_tracewords(
     ext_full: Dict[str, np.ndarray],
     cycles: int,
     batch: int,
+    forced: Optional[Dict[str, int]] = None,
 ) -> Dict[str, np.ndarray]:
     """Batched per-cycle core iteration with the trace axis packed into words.
 
@@ -826,9 +910,13 @@ def _iterate_core_tracewords(
     packed simulation's ``values``.
     """
     out_nets = list(out_nets)
+    forced = forced or {}
     width = words_for(batch)
     ones = mask_tail(np.full(width, np.uint64(0xFFFFFFFFFFFFFFFF)), batch)
     zeros = np.zeros(width, dtype=np.uint64)
+    # Stuck-at nets in the trace-word domain: the same constant for every
+    # trace (all-ones trace-words are tail-masked like every other net).
+    forced_words = {net: (ones if value else zeros) for net, value in forced.items()}
 
     # Per-cycle trace-words of the external inputs: transpose each (batch,
     # cycles) waveform to cycle-major and pack the trace axis once up front.
@@ -855,11 +943,11 @@ def _iterate_core_tracewords(
                 state[inst.name], tuple(zeros for _ in inst.inputs)
             )
             for net, word in zip(inst.outputs, outs):
-                vals[net] = word
+                vals[net] = forced_words.get(net, word)
         for inst in core_comb:
             outs = inst.cell.word_logic(tuple(vals[n] for n in inst.inputs), ones)
             for net, word in zip(inst.outputs, outs):
-                vals[net] = word
+                vals[net] = forced_words.get(net, word)
         for inst in core_seq:
             new_state, _ = inst.cell.word_step(
                 state[inst.name], tuple(vals[n] for n in inst.inputs)

@@ -48,6 +48,7 @@ import numpy as np
 
 from ..bitstream import bipolar_to_unipolar
 from ..bitstream.packed import packed_alternating, packed_popcount, packed_xnor
+from ..faults.spec import FaultSpec
 from ..rng import ComparatorSNG, SobolSource, VanDerCorputSource
 from .elements.adders import AdderTree, MuxAdder, TffAdder, TreePlan
 from .elements.converters import count_ones
@@ -114,6 +115,13 @@ class BipolarDotProductEngine:
         Bit-identical counter values either way.  ``None`` (the default)
         resolves to the ``REPRO_MODE`` environment variable, falling back to
         ``"auto"`` (see :func:`repro.sc.dotproduct.resolve_mode`).
+    faults:
+        Optional :class:`~repro.faults.FaultSpec`.  Stream-level faults are
+        injected into the input streams (by :meth:`dot` at offset 0, or by
+        tile drivers via :meth:`apply_faults`) and force the stream-domain
+        evaluation -- ``mode="auto"`` resolves to streams while faults are
+        active, and an explicit ``mode="counts"`` raises, exactly like the
+        unipolar engine.
     """
 
     precision: int = 8
@@ -121,6 +129,7 @@ class BipolarDotProductEngine:
     seed: int = 1
     backend: Optional[str] = None
     mode: Optional[str] = None
+    faults: Optional[FaultSpec] = None
     _mux_seed_counter: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
@@ -130,12 +139,44 @@ class BipolarDotProductEngine:
             raise ValueError(f"unknown adder {self.adder!r}")
         self.backend = resolve_backend(self.backend)
         self.mode = resolve_mode(self.mode)
+        if self.faults is not None and not isinstance(self.faults, FaultSpec):
+            raise TypeError(
+                f"faults must be a FaultSpec or None, got {type(self.faults).__name__}"
+            )
+        if self.mode == "counts" and self._stream_faults_active:
+            raise ValueError(
+                "mode='counts' is invalid under stream-level fault injection: "
+                "the count-domain shortcuts assume uncorrupted tree inputs -- "
+                "use mode='streams' (or 'auto', which resolves to streams "
+                "while faults are active)"
+            )
+
+    @property
+    def _stream_faults_active(self) -> bool:
+        """Whether the engine must inject fault masks into input streams."""
+        return self.faults is not None and self.faults.corrupts_streams
 
     @property
     def _use_count_mode(self) -> bool:
         # Both supported adders (TFF, MUX) have exact count-domain
-        # evaluations, so only an explicit "streams" forces stream tensors.
-        return self.mode != "streams"
+        # evaluations, so only an explicit "streams" -- or active stream
+        # faults, which invalidate the count-domain algebra -- forces
+        # stream tensors.
+        return self.mode != "streams" and not self._stream_faults_active
+
+    def apply_faults(self, prepared: np.ndarray, offset: int = 0) -> np.ndarray:
+        """Inject the engine's stream faults into :meth:`prepare_inputs` output.
+
+        Mirrors :meth:`StochasticDotProductEngine.apply_faults`: ``offset``
+        is the global index of the first stream in ``prepared`` (tile
+        drivers pass their tile start), and the injection is a no-op when no
+        stream fault channel is active.
+        """
+        if not self._stream_faults_active:
+            return prepared
+        return self.faults.plan().apply(
+            prepared, self.length, offset=offset, packed=self.backend == "packed"
+        )
 
     @property
     def length(self) -> int:
@@ -228,7 +269,7 @@ class BipolarDotProductEngine:
                 f"tap count mismatch: inputs have {x.shape[-1]}, "
                 f"weights have {weights.shape[-1]}"
             )
-        return self.dot_prepared(self.prepare_inputs(x), weights)
+        return self.dot_prepared(self.apply_faults(self.prepare_inputs(x)), weights)
 
     def dot_prepared(
         self, prepared: np.ndarray, weights: np.ndarray

@@ -214,7 +214,11 @@ class StochasticConv2D:
             stop = min(start + tile, total)
             # Input bit-streams are generated per tile (stateless conversion,
             # shared by all kernels) so peak memory stays bounded by the tile.
-            x_streams = self.engine.prepare_inputs(flat[start:stop])
+            # Fault masks are keyed on the *global* patch index (offset =
+            # tile start), so any tile_patches value corrupts identically.
+            x_streams = self.engine.apply_faults(
+                self.engine.prepare_inputs(flat[start:stop]), offset=start
+            )
             pos[start:stop], neg[start:stop] = bank.counts(x_streams)
         pos = pos.reshape(batch, n_patches, self.filters)
         neg = neg.reshape(batch, n_patches, self.filters)

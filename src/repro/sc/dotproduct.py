@@ -32,6 +32,7 @@ import numpy as np
 from ..bitstream import stream_length
 from ..bitstream.backend import BACKENDS, resolve_backend, validate_backend
 from ..bitstream.packed import packed_popcount
+from ..faults.spec import FaultSpec
 from ..rng import (
     ComparatorSNG,
     LFSRSource,
@@ -328,6 +329,18 @@ class StochasticDotProductEngine:
         bit-identical counter values; the choice only affects speed and
         memory.  ``None`` resolves to the ``REPRO_MODE`` environment
         variable, falling back to ``"auto"`` (see :func:`resolve_mode`).
+    faults:
+        Optional :class:`~repro.faults.FaultSpec` describing the fault
+        environment.  Stream-level faults (flips, stuck-at, bursts) are
+        injected into the *input* streams -- by :meth:`dot` /
+        :meth:`dot_filters` directly, or by tile drivers calling
+        :meth:`apply_faults` with their tile offset -- and force the
+        stream-domain evaluation: the count-domain shortcuts assume
+        uncorrupted tree inputs, so ``mode="auto"`` resolves to streams
+        whenever stream faults are active and an explicit ``mode="counts"``
+        raises.  ``sng_stuck_cells`` additionally defects the LFSR of
+        LFSR-based input SNGs.  Injection is seed-deterministic and
+        bit-identical across backends, tilings, and repeated calls.
     """
 
     precision: int = 8
@@ -337,6 +350,7 @@ class StochasticDotProductEngine:
     seed: int = 1
     backend: Optional[str] = None
     mode: Optional[str] = None
+    faults: Optional[FaultSpec] = None
     _mux_seed_counter: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
@@ -356,10 +370,48 @@ class StochasticDotProductEngine:
                 "the OR adder's output is position-dependent -- use "
                 "mode='streams' (or 'auto')"
             )
+        if self.faults is not None and not isinstance(self.faults, FaultSpec):
+            raise TypeError(
+                f"faults must be a FaultSpec or None, got {type(self.faults).__name__}"
+            )
+        if self.mode == "counts" and self._stream_faults_active:
+            raise ValueError(
+                "mode='counts' is invalid under stream-level fault injection: "
+                "the count-domain shortcuts assume uncorrupted tree inputs -- "
+                "use mode='streams' (or 'auto', which resolves to streams "
+                "while faults are active)"
+            )
+
+    @property
+    def _stream_faults_active(self) -> bool:
+        """Whether the engine must inject fault masks into input streams."""
+        return self.faults is not None and self.faults.corrupts_streams
+
+    def apply_faults(self, prepared: np.ndarray, offset: int = 0) -> np.ndarray:
+        """Inject the engine's stream faults into :meth:`prepare_inputs` output.
+
+        ``offset`` is the global index of the first stream in ``prepared``
+        (tile drivers pass their tile start so any ``tile_patches`` value
+        yields bit-identical faulted streams).  A no-op when no stream fault
+        channel is active.  :meth:`dot` and :meth:`dot_filters` call this
+        internally at offset 0; callers feeding :meth:`dot_prepared` /
+        :meth:`dot_filters_prepared` directly apply it themselves so the
+        offset (and the once-per-tile injection point) stays under their
+        control.
+        """
+        if not self._stream_faults_active:
+            return prepared
+        return self.faults.plan().apply(
+            prepared, self.length, offset=offset, packed=self.backend == "packed"
+        )
 
     def _use_count_mode(self, plan: TreePlan) -> bool:
         """Whether ``plan`` should reduce in the count domain under :attr:`mode`."""
         if self.mode == "streams":
+            return False
+        if self._stream_faults_active:
+            # Faulted streams invalidate the count-domain algebra (auto =>
+            # streams); explicit counts was already rejected at init.
             return False
         supported = plan.supports_count_reduction or plan.supports_masked_reduction
         if not supported and self.mode == "counts":
@@ -393,7 +445,10 @@ class StochasticDotProductEngine:
 
     def _input_sng(self) -> ComparatorSNG:
         if self.input_generator == "lfsr":
-            return ComparatorSNG(LFSRSource(self.precision, seed=self.seed))
+            stuck = self.faults.sng_stuck_cells if self.faults is not None else ()
+            return ComparatorSNG(
+                LFSRSource(self.precision, seed=self.seed, stuck_cells=stuck)
+            )
         return ComparatorSNG(VanDerCorputSource(self.precision))
 
     def _weight_sng(self) -> ComparatorSNG:
@@ -487,7 +542,9 @@ class StochasticDotProductEngine:
                 f"tap count mismatch: inputs have {x.shape[-1]}, "
                 f"weights have shape {weights.shape}"
             )
-        return self.dot_filters_prepared(self.prepare_inputs(x), weights)
+        return self.dot_filters_prepared(
+            self.apply_faults(self.prepare_inputs(x)), weights
+        )
 
     def _adder_factory(self) -> Callable[[], object]:
         if self.adder == "tff":
@@ -524,7 +581,7 @@ class StochasticDotProductEngine:
                 f"tap count mismatch: inputs have {x.shape[-1]}, "
                 f"weights have {weights.shape[-1]}"
             )
-        return self.dot_prepared(self.prepare_inputs(x), weights)
+        return self.dot_prepared(self.apply_faults(self.prepare_inputs(x)), weights)
 
     def _plan_counts(self, products: np.ndarray, plan: TreePlan) -> np.ndarray:
         """Root ones-counts of ``(..., k, W-or-N)`` leaf products under :attr:`mode`."""
@@ -609,6 +666,7 @@ def new_sc_engine(
     seed: int = 1,
     backend: Optional[str] = None,
     mode: Optional[str] = None,
+    faults: Optional[FaultSpec] = None,
 ) -> StochasticDotProductEngine:
     """The paper's proposed configuration: TFF adder, ramp input, low-discrepancy weights."""
     return StochasticDotProductEngine(
@@ -619,6 +677,7 @@ def new_sc_engine(
         seed=seed,
         backend=backend,
         mode=mode,
+        faults=faults,
     )
 
 
@@ -627,6 +686,7 @@ def old_sc_engine(
     seed: int = 1,
     backend: Optional[str] = None,
     mode: Optional[str] = None,
+    faults: Optional[FaultSpec] = None,
 ) -> StochasticDotProductEngine:
     """The conventional configuration used as the "Old SC" baseline in Table 3.
 
@@ -641,4 +701,5 @@ def old_sc_engine(
         seed=seed,
         backend=backend,
         mode=mode,
+        faults=faults,
     )

@@ -155,3 +155,55 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Misclassification" in out
         assert "This Work" in out
+
+
+class TestFaultsCommand:
+    def test_parser_flags(self):
+        args = build_parser().parse_args(
+            ["faults", "--rates", "0,1e-3", "--precision", "6",
+             "--images", "3", "--filters", "4", "--trials", "1",
+             "--backend", "unpacked", "--no-artifact"]
+        )
+        assert args.rates == (0.0, 1e-3)
+        assert args.precision == 6 and args.images == 3
+        assert args.backend == "unpacked" and args.no_artifact
+
+    def test_parser_rejects_bad_rates(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "--rates", "abc"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "--rates", ""])
+
+    def test_help_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["faults", "--help"])
+        assert exc.value.code == 0
+        assert "upset rates" in capsys.readouterr().out
+
+    def test_out_of_range_rate_clean_error(self):
+        # Parses fine but fails FaultSweepConfig validation: the CLI must
+        # surface it as a clean SystemExit, not a traceback.
+        with pytest.raises(SystemExit, match="repro: error"):
+            main(["faults", "--rates", "2.0", "--no-artifact"])
+
+    def test_quick_command_prints_table(self, capsys):
+        assert main(
+            ["faults", "--quick", "--precision", "5", "--no-artifact"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "SC agree" in out and "bin agree" in out
+        assert "wrote" not in out
+
+    def test_command_writes_artifact(self, capsys, tmp_path):
+        target = tmp_path / "BENCH_faults.json"
+        assert main(
+            ["faults", "--quick", "--precision", "5", "--rates", "0,1e-2",
+             "--output", str(target)]
+        ) == 0
+        assert "wrote" in capsys.readouterr().out
+        import json
+
+        data = json.loads(target.read_text())
+        rows = data["fault_sweep"]["rows"]
+        assert [row["rate"] for row in rows] == [0.0, 1e-2]
+        assert rows[0]["sc_sign_agreement"] == 1.0

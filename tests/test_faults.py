@@ -1,0 +1,485 @@
+"""Tests for the deterministic fault-injection subsystem (:mod:`repro.faults`).
+
+Covers the mask generator's statistics and coordinate determinism, the
+``((w | stuck1) & ~stuck0) ^ flips`` composition contract, backend/tiling
+bit-identity of faulted engines and convolutions, the mode interaction
+(stream faults force stream-domain evaluation), stream injection helpers,
+netlist stuck-at faults on both simulation backends, stuck SNG register
+cells, the matched binary-word flip baseline, and the degradation sweep.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.bitstream import Bitstream, PackedBitstream
+from repro.bitstream.packed import pack_bits, unpack_bits
+from repro.faults import (
+    FaultPlan,
+    FaultSpec,
+    NetlistFaults,
+    bernoulli_words,
+    burst_words,
+    coordinate_words,
+    flip_binary_words,
+    inject_stream,
+)
+from repro.faults.sweep import (
+    FaultSweepConfig,
+    parse_rates,
+    run_fault_sweep,
+    write_artifact,
+)
+from repro.netlist import Netlist, build_sc_dot_product, simulate, simulate_batch
+from repro.rng.lfsr import LFSR
+from repro.sc.bipolar import BipolarDotProductEngine
+from repro.sc.convolution import StochasticConv2D
+from repro.sc.dotproduct import new_sc_engine, old_sc_engine
+
+
+def _unpack(words, n_bits):
+    return unpack_bits(np.asarray(words, dtype=np.uint64), n_bits)
+
+
+# --------------------------------------------------------------------------- #
+# mask generator
+# --------------------------------------------------------------------------- #
+class TestMasks:
+    def test_bernoulli_rate_statistics(self):
+        for rate in (0.03, 0.125, 0.5, 0.9):
+            words = bernoulli_words(rate, seed=1, salt=7, n_streams=40,
+                                    taps=5, n_bits=512)
+            bits = _unpack(words, 512)
+            assert bits.mean() == pytest.approx(rate, abs=0.01)
+
+    def test_bernoulli_extremes(self):
+        zeros = bernoulli_words(0.0, 0, 1, 3, 2, 100)
+        ones = bernoulli_words(1.0, 0, 1, 3, 2, 100)
+        assert not _unpack(zeros, 100).any()
+        assert _unpack(ones, 100).all()
+
+    def test_coordinate_determinism_and_offset(self):
+        # Generating streams [0, 8) in one call must equal two offset calls.
+        whole = bernoulli_words(0.2, seed=3, salt=1, n_streams=8, taps=3,
+                                n_bits=192)
+        head = bernoulli_words(0.2, seed=3, salt=1, n_streams=5, taps=3,
+                               n_bits=192)
+        tail = bernoulli_words(0.2, seed=3, salt=1, n_streams=3, taps=3,
+                               n_bits=192, offset=5)
+        assert np.array_equal(whole, np.concatenate([head, tail], axis=0))
+
+    def test_distinct_channels_decorrelated(self):
+        a = bernoulli_words(0.5, seed=9, salt=1, n_streams=4, taps=2, n_bits=256)
+        b = bernoulli_words(0.5, seed=9, salt=2, n_streams=4, taps=2, n_bits=256)
+        assert not np.array_equal(a, b)
+        assert np.array_equal(a, bernoulli_words(0.5, 9, 1, 4, 2, 256))
+
+    def test_coordinate_words_shape(self):
+        grid = coordinate_words(seed=0, salt=5, n_streams=3, taps=4, n_bits=130)
+        assert grid.shape == (3, 4, 3)  # ceil(130 / 64) == 3 words
+
+    def test_burst_run_lengths(self):
+        words = burst_words(0.01, length=6, seed=2, salt=4, n_streams=30,
+                            taps=1, n_bits=1024)
+        bits = _unpack(words, 1024)
+        # Bursts smear each seed bit across up to ``length`` positions, so
+        # the hit rate must land well above the per-bit seed rate.
+        assert bits.mean() > 0.02
+        assert bits.mean() < 0.12
+
+    def test_tail_bits_always_clear(self):
+        for n_bits in (1, 63, 64, 65, 127, 200):
+            words = bernoulli_words(1.0, 0, 1, 2, 2, n_bits)
+            rem = n_bits % 64
+            if rem:
+                assert int(words[..., -1].max()) < (1 << rem)
+
+
+# --------------------------------------------------------------------------- #
+# FaultSpec / FaultPlan
+# --------------------------------------------------------------------------- #
+class TestFaultSpec:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(flip_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultSpec(stuck_zero_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(burst_rate=0.1, burst_length=0)
+        with pytest.raises(ValueError):
+            FaultSpec(sensor_noise_sigma=-1.0)
+        with pytest.raises(ValueError):
+            FaultSpec(sng_stuck_cells=((0, 2),))
+
+    def test_activity_flags(self):
+        assert not FaultSpec().active
+        assert FaultSpec(flip_rate=0.1).corrupts_streams
+        noise_only = FaultSpec(sensor_noise_sigma=0.05)
+        assert noise_only.active and not noise_only.corrupts_streams
+        cells_only = FaultSpec(sng_stuck_cells=((1, 0),))
+        assert cells_only.active and not cells_only.corrupts_streams
+
+    def test_composition_order(self):
+        # Contract: ((w | stuck1) & ~stuck0) ^ flips -- stuck-at-0 dominates
+        # stuck-at-1, and flips act on the stuck value.
+        base = np.random.default_rng(0).integers(0, 2, (2, 3, 128), dtype=np.int64)
+        prepared = pack_bits(base.astype(np.uint8))
+
+        all_one = FaultSpec(stuck_one_rate=1.0).plan().apply(prepared, 128)
+        assert _unpack(all_one, 128).all()
+
+        dominated = (
+            FaultSpec(stuck_one_rate=1.0, stuck_zero_rate=1.0)
+            .plan().apply(prepared, 128)
+        )
+        assert not _unpack(dominated, 128).any()
+
+        inverted = (
+            FaultSpec(stuck_one_rate=1.0, stuck_zero_rate=1.0, flip_rate=1.0)
+            .plan().apply(prepared, 128)
+        )
+        assert _unpack(inverted, 128).all()
+
+    def test_packed_and_unpacked_apply_identical(self):
+        spec = FaultSpec(flip_rate=0.05, stuck_zero_rate=0.02,
+                         stuck_one_rate=0.02, burst_rate=0.01, seed=11)
+        bits = np.random.default_rng(1).integers(0, 2, (4, 5, 200),
+                                                 dtype=np.int64).astype(np.uint8)
+        packed = spec.plan().apply(pack_bits(bits), 200, packed=True)
+        unpacked = spec.plan().apply(bits, 200, packed=False)
+        assert np.array_equal(unpack_bits(packed, 200), unpacked)
+
+    def test_apply_is_offset_composable(self):
+        spec = FaultSpec(flip_rate=0.1, seed=3)
+        bits = np.random.default_rng(2).integers(0, 2, (6, 2, 100),
+                                                 dtype=np.int64).astype(np.uint8)
+        whole = spec.plan().apply(bits, 100, packed=False)
+        head = spec.plan().apply(bits[:4], 100, packed=False)
+        tail = spec.plan().apply(bits[4:], 100, offset=4, packed=False)
+        assert np.array_equal(whole, np.concatenate([head, tail], axis=0))
+
+    def test_empty_apply_is_noop(self):
+        plan = FaultSpec(flip_rate=0.5).plan()
+        empty = np.zeros((0, 3, 2), dtype=np.uint64)
+        assert plan.apply(empty, 100).shape == empty.shape
+        zero_bits = np.zeros((2, 3, 0), dtype=np.uint8)
+        assert plan.apply(zero_bits, 0, packed=False).shape == zero_bits.shape
+
+    def test_plan_is_frozen_dataclass(self):
+        plan = FaultSpec(flip_rate=0.5).plan()
+        assert isinstance(plan, FaultPlan)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            plan.spec = None
+
+
+class TestInjectStream:
+    def test_packed_unpacked_equivalent(self):
+        spec = FaultSpec(flip_rate=0.2, seed=5)
+        packed = PackedBitstream.from_random(0.5, 300, rng=7)
+        unpacked = packed.unpack()
+        faulted_p = inject_stream(packed, spec)
+        faulted_u = inject_stream(unpacked, spec)
+        assert faulted_p.unpack() == faulted_u
+        assert faulted_p.encoding == packed.encoding
+
+    def test_index_selects_the_stream_coordinate(self):
+        spec = FaultSpec(flip_rate=0.3, seed=1)
+        stream = PackedBitstream.from_random(0.5, 256, rng=3)
+        assert inject_stream(stream, spec, index=0) != inject_stream(
+            stream, spec, index=1
+        )
+
+    def test_empty_stream_is_noop(self):
+        spec = FaultSpec(flip_rate=1.0)
+        empty_p = PackedBitstream.all_zeros(0)
+        empty_u = Bitstream.all_zeros(0)
+        assert inject_stream(empty_p, spec) is empty_p
+        assert inject_stream(empty_u, spec) is empty_u
+
+    def test_inactive_spec_is_noop(self):
+        stream = PackedBitstream.from_random(0.5, 128, rng=0)
+        assert inject_stream(stream, FaultSpec()) is stream
+
+    def test_type_error(self):
+        with pytest.raises(TypeError):
+            inject_stream([0, 1, 0], FaultSpec(flip_rate=0.5))
+
+
+# --------------------------------------------------------------------------- #
+# engines and convolution
+# --------------------------------------------------------------------------- #
+class TestEngineFaults:
+    def setup_method(self):
+        self.rng = np.random.default_rng(42)
+        self.x = self.rng.random((12, 9))
+        self.w = self.rng.uniform(-1, 1, 9)
+
+    def test_backends_bit_identical_under_faults(self):
+        spec = FaultSpec(flip_rate=0.02, stuck_one_rate=0.01, seed=9)
+        results = {}
+        for backend in ("packed", "unpacked"):
+            engine = new_sc_engine(precision=6, backend=backend, faults=spec)
+            results[backend] = engine.dot(self.x, self.w)
+        assert np.array_equal(
+            results["packed"].positive_count, results["unpacked"].positive_count
+        )
+        assert np.array_equal(
+            results["packed"].negative_count, results["unpacked"].negative_count
+        )
+
+    def test_repeated_dot_is_deterministic(self):
+        engine = new_sc_engine(precision=6, faults=FaultSpec(flip_rate=0.05, seed=2))
+        a = engine.dot(self.x, self.w)
+        b = engine.dot(self.x, self.w)
+        assert np.array_equal(a.positive_count, b.positive_count)
+        assert np.array_equal(a.negative_count, b.negative_count)
+
+    def test_faults_actually_perturb(self):
+        clean = new_sc_engine(precision=6).dot(self.x, self.w)
+        faulted = new_sc_engine(
+            precision=6, faults=FaultSpec(stuck_one_rate=0.3, seed=1)
+        ).dot(self.x, self.w)
+        assert not (
+            np.array_equal(clean.positive_count, faulted.positive_count)
+            and np.array_equal(clean.negative_count, faulted.negative_count)
+        )
+
+    def test_counts_mode_with_stream_faults_raises(self):
+        with pytest.raises(ValueError, match="count"):
+            new_sc_engine(precision=6, mode="counts",
+                          faults=FaultSpec(flip_rate=0.01))
+
+    def test_auto_mode_resolves_to_streams(self):
+        engine = new_sc_engine(precision=6, faults=FaultSpec(flip_rate=0.01))
+        assert engine._stream_faults_active
+        plan = engine.prepare_weights(self.w.reshape(1, -1)).plan
+        assert not engine._use_count_mode(plan)
+        assert new_sc_engine(precision=6)._use_count_mode(plan)
+        # Non-stream fault channels keep the count-domain shortcut legal.
+        cells_only = new_sc_engine(precision=6,
+                                   faults=FaultSpec(sng_stuck_cells=((1, 1),)))
+        assert not cells_only._stream_faults_active
+        assert cells_only._use_count_mode(plan)
+
+    def test_faults_type_checked(self):
+        with pytest.raises(TypeError):
+            new_sc_engine(precision=6, faults={"flip_rate": 0.1})
+
+    def test_bipolar_engine_faults(self):
+        values = self.rng.uniform(-1, 1, (8, 5))
+        weights = self.rng.uniform(-1, 1, 5)
+        spec = FaultSpec(flip_rate=0.05, seed=4)
+        counts = {}
+        for backend in ("packed", "unpacked"):
+            engine = BipolarDotProductEngine(precision=6, backend=backend,
+                                             faults=spec)
+            counts[backend] = engine.dot(values, weights).count
+        assert np.array_equal(counts["packed"], counts["unpacked"])
+        clean = BipolarDotProductEngine(precision=6).dot(values, weights)
+        assert not np.array_equal(clean.count, counts["packed"])
+        with pytest.raises(ValueError, match="count"):
+            BipolarDotProductEngine(precision=6, mode="counts", faults=spec)
+
+    def test_sng_stuck_cells_thread_into_generator(self):
+        values = self.rng.random((6, 9))
+        weights = self.rng.uniform(-1, 1, 9)
+        spec = FaultSpec(sng_stuck_cells=((0, 1), (3, 0)))
+        counts = {}
+        for backend in ("packed", "unpacked"):
+            engine = old_sc_engine(precision=6, backend=backend, faults=spec)
+            counts[backend] = engine.dot(values, weights).positive_count
+        assert np.array_equal(counts["packed"], counts["unpacked"])
+        clean = old_sc_engine(precision=6).dot(values, weights)
+        assert not np.array_equal(clean.positive_count, counts["packed"])
+
+
+class TestConvolutionFaults:
+    def test_tiling_and_backend_invariance(self):
+        rng = np.random.default_rng(7)
+        images = rng.random((2, 10, 10))
+        kernels = rng.uniform(-1, 1, (3, 3, 3))
+        spec = FaultSpec(flip_rate=0.02, burst_rate=0.005, seed=13)
+        signs = []
+        for backend in ("packed", "unpacked"):
+            for tile in (None, 7, 13):
+                engine = new_sc_engine(precision=6, backend=backend, faults=spec)
+                layer = StochasticConv2D(kernels, engine=engine, padding=1,
+                                         tile_patches=tile)
+                result = layer.forward(images)
+                signs.append((result.positive_count, result.negative_count))
+        first_pos, first_neg = signs[0]
+        for pos, neg in signs[1:]:
+            assert np.array_equal(first_pos, pos)
+            assert np.array_equal(first_neg, neg)
+
+
+# --------------------------------------------------------------------------- #
+# netlist stuck-at faults
+# --------------------------------------------------------------------------- #
+def _toy_netlist():
+    net = Netlist("toy_faults")
+    a = net.add_input("a")
+    b = net.add_input("b")
+    (c,) = net.add_cell("AND2", [a, b], outputs=["c"])
+    net.add_output(c)
+    return net
+
+
+class TestNetlistFaults:
+    def test_stuck_at_forces_constant_output(self):
+        net = _toy_netlist()
+        stim = {
+            "a": np.ones(32, dtype=np.uint8),
+            "b": np.zeros(32, dtype=np.uint8),
+        }
+        for backend in ("packed", "unpacked"):
+            result = simulate(net, stim, backend=backend, faults={"c": 1})
+            assert result.waveforms["c"].all()
+        clean = simulate(net, stim, backend="packed")
+        assert not clean.waveforms["c"].any()
+
+    def test_unknown_net_rejected(self):
+        net = _toy_netlist()
+        stim = {"a": np.zeros(8, dtype=np.uint8), "b": np.zeros(8, dtype=np.uint8)}
+        with pytest.raises(ValueError, match="do not exist"):
+            simulate(net, stim, faults={"nonexistent": 1})
+
+    def test_backends_identical_on_real_circuit(self):
+        net = build_sc_dot_product(9, 5)
+        rng = np.random.default_rng(3)
+        stim = {
+            name: rng.integers(0, 2, 64, dtype=np.int64).astype(np.uint8)
+            for name in net.primary_inputs
+        }
+        victim = net.instances[len(net.instances) // 3].outputs[0]
+        faults = NetlistFaults({victim: 0})
+        packed = simulate(net, stim, backend="packed", faults=faults)
+        unpacked = simulate(net, stim, backend="unpacked", faults=faults)
+        for out in net.primary_outputs:
+            assert np.array_equal(packed.waveforms[out], unpacked.waveforms[out])
+        assert packed.total_toggles() == unpacked.total_toggles()
+        clean = simulate(net, stim, backend="packed")
+        assert any(
+            not np.array_equal(packed.waveforms[out], clean.waveforms[out])
+            for out in net.primary_outputs
+        )
+
+    def test_batched_faults_and_zero_traces(self):
+        net = _toy_netlist()
+        rng = np.random.default_rng(5)
+        stim = {
+            name: rng.integers(0, 2, (3, 40), dtype=np.int64).astype(np.uint8)
+            for name in net.primary_inputs
+        }
+        for backend in ("packed", "unpacked"):
+            result = simulate_batch(net, stim, backend=backend, faults={"c": 1})
+            assert result.waveforms["c"].all()
+        empty = {name: np.zeros((0, 16), dtype=np.uint8)
+                 for name in net.primary_inputs}
+        with pytest.raises(ValueError, match="at least one trace"):
+            simulate_batch(net, empty)
+
+    def test_coerce_and_normalization(self):
+        faults = NetlistFaults.coerce({"n1": 1, "n2": 0})
+        assert faults.stuck_at == {"n1": 1, "n2": 0}
+        assert NetlistFaults.coerce(None) is None
+        assert not NetlistFaults({})
+        with pytest.raises(ValueError):
+            NetlistFaults({"n": 2})
+
+
+class TestLFSRStuckCells:
+    def test_cell_forced(self):
+        clean = LFSR(bits=8, seed=1)
+        stuck = LFSR(bits=8, seed=1, stuck_cells=((2, 1),))
+        for _ in range(20):
+            assert (stuck.step() >> 2) & 1 == 1
+        # The clean register visits states with bit 2 low.
+        assert any((clean.step() >> 2) & 1 == 0 for _ in range(20))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LFSR(bits=8, seed=1, stuck_cells=((8, 1),))
+        with pytest.raises(ValueError):
+            LFSR(bits=8, seed=1, stuck_cells=((0, 5),))
+
+
+# --------------------------------------------------------------------------- #
+# binary baseline
+# --------------------------------------------------------------------------- #
+class TestBinaryFlips:
+    def test_rate_zero_identity_and_determinism(self):
+        values = np.array([[-100, 0, 77], [5, -1, 1023]], dtype=np.int64)
+        assert np.array_equal(flip_binary_words(values, 12, 0.0, 0), values)
+        a = flip_binary_words(values, 12, 0.3, seed=6)
+        b = flip_binary_words(values, 12, 0.3, seed=6)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, flip_binary_words(values, 12, 0.3, seed=7))
+
+    def test_round_trip_via_double_flip(self):
+        # XOR-ing the same mask twice restores the original words.
+        values = np.arange(-32, 32, dtype=np.int64)
+        once = flip_binary_words(values, 8, 0.5, seed=3)
+        masks = (values.view(np.uint64) ^ once.view(np.uint64))
+        twice = once.view(np.uint64) ^ masks
+        assert np.array_equal(twice.view(np.int64), values)
+
+    def test_results_stay_in_range(self):
+        values = np.array([-64, 63], dtype=np.int64)
+        flipped = flip_binary_words(values, 7, 1.0, seed=0)
+        assert flipped.min() >= -64 and flipped.max() <= 63
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            flip_binary_words(np.array([1000], dtype=np.int64), 8, 0.1, 0)
+        with pytest.raises(ValueError):
+            flip_binary_words(np.array([0]), 64, 0.1, 0)
+        with pytest.raises(TypeError):
+            flip_binary_words(np.array([0.5]), 8, 0.1, 0)
+
+
+# --------------------------------------------------------------------------- #
+# degradation sweep
+# --------------------------------------------------------------------------- #
+class TestSweep:
+    def test_quick_sweep_structure(self, tmp_path):
+        config = FaultSweepConfig(
+            rates=(0.0, 1e-2), precision=5, images=1, filters=2, kernel=3,
+            trials=1,
+        )
+        result = run_fault_sweep(config)
+        assert len(result.rows) == 2
+        clean_row = result.rows[0]
+        assert clean_row["sc_sign_agreement"] == 1.0
+        assert clean_row["binary_sign_agreement"] == 1.0
+        assert clean_row["sc_value_rmse"] == 0.0
+        for row in result.rows:
+            assert set(row) == {
+                "rate", "binary_word_rate", "sc_sign_agreement",
+                "binary_sign_agreement", "sc_value_rmse", "binary_value_rmse",
+            }
+        artifact = tmp_path / "BENCH_faults.json"
+        write_artifact(result, artifact)
+        import json
+
+        data = json.loads(artifact.read_text())
+        assert data["fault_sweep"]["rows"] == result.rows
+        assert data["fault_sweep"]["accumulator_bits"] == 2 * 5 + 5
+
+    def test_parse_rates(self):
+        assert parse_rates("0,1e-3, 0.5") == (0.0, 1e-3, 0.5)
+        with pytest.raises(ValueError):
+            parse_rates("abc")
+        with pytest.raises(ValueError):
+            parse_rates("")
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FaultSweepConfig(rates=())
+        with pytest.raises(ValueError):
+            FaultSweepConfig(rates=(2.0,))
+        with pytest.raises(ValueError):
+            FaultSweepConfig(images=0)
+        with pytest.raises(ValueError):
+            FaultSweepConfig(trials=0)

@@ -202,3 +202,82 @@ class TestPackedBitstreamMisc:
     def test_pack_bits_accepts_bool(self):
         bits = np.array([True, False, True])
         assert PackedBitstream(pack_bits(bits), 3).ones == 2
+
+
+class TestFaultKernelTail:
+    """Tail-word hygiene of the fault-injection kernel (repro.faults).
+
+    The fault masks and the ``packed_apply_faults`` kernel must never leave
+    garbage beyond ``n_bits`` in the tail word: every popcount in the engine
+    trusts the tail invariant, so a single stray bit would silently corrupt
+    counter values.
+    """
+
+    @given(lengths, st.integers(0, 2**32))
+    @settings(max_examples=40, deadline=None)
+    def test_apply_faults_masks_the_tail(self, length, seed):
+        from repro.bitstream.packed import (
+            packed_apply_faults,
+            packed_popcount,
+            tail_is_clear,
+            unpack_bits,
+        )
+
+        rng = np.random.default_rng(seed)
+        shape = (2, words_for(length))
+        # Deliberately unmasked 64-bit garbage in every operand: the kernel
+        # must re-establish the invariant itself.
+        words, s0, s1, flips = (
+            rng.integers(0, 2**64, shape, dtype=np.uint64) for _ in range(4)
+        )
+        out = packed_apply_faults(words, s0, s1, flips, length)
+        assert tail_is_clear(out, length)
+        # Popcount must agree with the bit-level reference computation.
+        ref = (
+            (unpack_bits(words, length) | unpack_bits(s1, length))
+            & (1 - unpack_bits(s0, length))
+        ) ^ unpack_bits(flips, length)
+        assert np.array_equal(packed_popcount(out), ref.sum(axis=-1))
+
+    @given(lengths, st.integers(0, 2**32))
+    @settings(max_examples=40, deadline=None)
+    def test_fault_plan_chained_with_kernels_stays_clean(self, length, seed):
+        from repro.bitstream.packed import (
+            packed_not,
+            packed_popcount,
+            packed_xnor,
+            tail_is_clear,
+            unpack_bits,
+        )
+        from repro.faults import FaultSpec
+
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, (3, 2, length), dtype=np.int64).astype(np.uint8)
+        spec = FaultSpec(flip_rate=0.3, stuck_one_rate=0.2, stuck_zero_rate=0.1,
+                         burst_rate=0.05, seed=seed % 1000)
+        faulted = spec.plan().apply(pack_bits(bits), length)
+        assert tail_is_clear(faulted, length)
+        # Chain the usual packed kernels after injection: the tail must stay
+        # spotless and popcounts must match the unpacked reference after
+        # every step.
+        inverted = packed_not(faulted, length)
+        assert tail_is_clear(inverted, length)
+        xnored = packed_xnor(faulted, inverted, length)
+        assert tail_is_clear(xnored, length)
+        # XNOR of a stream with its complement is all-zeros; with itself,
+        # all-ones (and the tail masking keeps the count at ``length``, not
+        # the word capacity).
+        assert (packed_popcount(xnored) == 0).all()
+        assert (packed_popcount(packed_xnor(faulted, faulted, length)) == length).all()
+        assert np.array_equal(
+            packed_popcount(faulted), unpack_bits(faulted, length).sum(axis=-1)
+        )
+
+    def test_tail_is_clear_detects_stray_bits(self):
+        from repro.bitstream.packed import tail_is_clear
+
+        words = np.array([0xFF], dtype=np.uint64)
+        assert tail_is_clear(words, 8)
+        assert not tail_is_clear(words, 4)
+        assert tail_is_clear(np.zeros(0, dtype=np.uint64), 0)
+        assert tail_is_clear(np.array([2**63], dtype=np.uint64), 64)
